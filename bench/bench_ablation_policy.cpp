@@ -1,0 +1,84 @@
+// Design-choice ablations for the SYNPA policy on the showcased workloads:
+//   * pair selector: Blossom (paper) vs exact subset DP vs greedy,
+//   * hysteresis: on (default) vs off (re-solve every quantum),
+//   * baselines: Linux, Random, Oracle (true phase categories).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/synpa_policy.hpp"
+#include "model/trainer.hpp"
+#include "sched/baselines.hpp"
+#include "workloads/groups.hpp"
+#include "workloads/methodology.hpp"
+
+int main() {
+    using namespace synpa;
+    bench::print_header("Policy ablations",
+                        "Selector / hysteresis / baseline sweep on be1, fe2, fb2");
+
+    const uarch::SimConfig cfg = uarch::SimConfig::from_env();
+    workloads::MethodologyOptions opts = bench::default_methodology();
+    opts.reps = std::min(opts.reps, 2);
+
+    model::TrainerOptions topts;
+    topts.seed = opts.seed;
+    std::cout << "training the interference model...\n";
+    const model::TrainingResult trained =
+        model::Trainer(cfg, topts).train(workloads::training_apps());
+    workloads::calibrate_suite(cfg, 30, opts.seed);
+
+    struct Variant {
+        std::string label;
+        workloads::PolicyFactory factory;
+    };
+    auto synpa_with = [&](core::PairSelector sel, bool hysteresis) {
+        core::SynpaPolicy::Options o;
+        o.selector = sel;
+        if (!hysteresis) {
+            o.stability_bias = 0.0;
+            o.keep_threshold = 0.0;
+        }
+        return [&trained, o](std::uint64_t) {
+            return std::make_unique<core::SynpaPolicy>(trained.model, o);
+        };
+    };
+    const std::vector<Variant> variants = {
+        {"linux", [](std::uint64_t) { return std::make_unique<sched::LinuxPolicy>(); }},
+        {"random",
+         [](std::uint64_t s) { return std::make_unique<sched::RandomPolicy>(s); }},
+        {"oracle",
+         [&](std::uint64_t) { return std::make_unique<sched::OraclePolicy>(trained.model); }},
+        {"synpa (blossom)", synpa_with(core::PairSelector::kBlossom, true)},
+        {"synpa (subset-dp)", synpa_with(core::PairSelector::kSubsetDp, true)},
+        {"synpa (greedy)", synpa_with(core::PairSelector::kGreedy, true)},
+        {"synpa (no hysteresis)", synpa_with(core::PairSelector::kBlossom, false)},
+    };
+
+    for (const auto& spec :
+         {workloads::paper_be1(), workloads::paper_fe2(), workloads::paper_fb2()}) {
+        std::cout << "\n=== workload " << spec.name << " ===\n";
+        common::Table table(
+            {"policy", "TT (quanta)", "TT speedup vs linux", "fairness", "migr/quantum"});
+        double linux_tt = 0.0;
+        for (const auto& v : variants) {
+            const auto r = workloads::run_workload(spec, cfg, v.factory, opts);
+            if (v.label == "linux") linux_tt = r.mean_metrics.turnaround_quanta;
+            table.row()
+                .add(v.label)
+                .add(r.mean_metrics.turnaround_quanta, 1)
+                .add(linux_tt > 0.0 ? linux_tt / r.mean_metrics.turnaround_quanta : 0.0, 3)
+                .add(r.mean_metrics.fairness, 3)
+                .add(static_cast<double>(r.exemplar.migrations) /
+                         static_cast<double>(
+                             std::max<std::uint64_t>(1, r.exemplar.quanta_executed)),
+                     2);
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\nreading guide: random churn loses badly (pairing matters); informed\n"
+                 "selectors agree at n=8 (the optimum is small); hysteresis suppresses\n"
+                 "near-tie oscillation that would otherwise pay migration costs.\n";
+    return 0;
+}

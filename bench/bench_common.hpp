@@ -1,0 +1,39 @@
+// Shared helpers for the bench binaries: environment-scaled options and the
+// header every report prints so runs are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "uarch/sim_config.hpp"
+#include "workloads/methodology.hpp"
+
+namespace synpa::bench {
+
+/// Evaluation scales, overridable via environment so the same binaries run
+/// as a quick smoke pass (CI) or a fuller sweep:
+///   SYNPA_BENCH_REPS, SYNPA_BENCH_SEED, SYNPA_BENCH_TARGET_QUANTA,
+///   SYNPA_QUANTUM_CYCLES, SYNPA_CORES, ...
+inline workloads::MethodologyOptions default_methodology() {
+    workloads::MethodologyOptions opts;
+    opts.reps = static_cast<int>(common::env_int("SYNPA_BENCH_REPS", 2));
+    opts.seed = static_cast<std::uint64_t>(common::env_int("SYNPA_BENCH_SEED", 42));
+    opts.target_isolated_quanta =
+        static_cast<std::uint64_t>(common::env_int("SYNPA_BENCH_TARGET_QUANTA", 120));
+    return opts;
+}
+
+inline std::uint64_t characterization_quanta() {
+    return static_cast<std::uint64_t>(common::env_int("SYNPA_BENCH_CHAR_QUANTA", 60));
+}
+
+inline void print_header(const std::string& artifact, const std::string& description) {
+    std::cout << "==============================================================\n"
+              << "SYNPA reproduction — " << artifact << "\n"
+              << description << "\n"
+              << "==============================================================\n";
+}
+
+}  // namespace synpa::bench

@@ -1,0 +1,82 @@
+// Reproduces Figure 5: turnaround-time speedup of SYNPA over the Linux
+// baseline across the 20 evaluation workloads (be0-be4, fe0-fe4, fb0-fb9),
+// with per-group averages.
+//
+// Paper reference shape: backend-intensive ~ +18%, frontend-intensive
+// ~ +8%, mixed ~ +36% (up to +55% on fb2); mixed > backend > frontend.
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/synpa_policy.hpp"
+#include "model/trainer.hpp"
+#include "sched/baselines.hpp"
+#include "workloads/groups.hpp"
+#include "workloads/methodology.hpp"
+
+int main() {
+    using namespace synpa;
+    bench::print_header("Figure 5",
+                        "Speedup of the turnaround time over Linux, 20 workloads");
+
+    const uarch::SimConfig cfg = uarch::SimConfig::from_env();
+    const workloads::MethodologyOptions opts = bench::default_methodology();
+
+    // Train the model once (paper §IV-C: train once, reuse everywhere).
+    model::TrainerOptions topts;
+    topts.seed = opts.seed;
+    topts.pair_quanta =
+        static_cast<std::uint64_t>(common::env_int("SYNPA_BENCH_TRAIN_PAIR_QUANTA", 36));
+    std::cout << "training the interference model on 22 applications...\n";
+    const model::TrainingResult trained =
+        model::Trainer(cfg, topts).train(workloads::training_apps());
+
+    const auto chars = workloads::characterize_suite(cfg, bench::characterization_quanta(),
+                                                     opts.seed);
+    const auto specs = workloads::paper_workloads(chars, opts.seed);
+
+    const workloads::PolicyFactory make_linux = [](std::uint64_t) {
+        return std::make_unique<sched::LinuxPolicy>();
+    };
+    const workloads::PolicyFactory make_synpa = [&](std::uint64_t) {
+        return std::make_unique<core::SynpaPolicy>(trained.model);
+    };
+
+    std::cout << "running " << specs.size() << " workloads x 2 policies x " << opts.reps
+              << " reps...\n\n";
+    const auto comparisons =
+        workloads::compare_policies(specs, cfg, make_linux, make_synpa, opts);
+
+    const std::map<std::string, double> paper_group_ref = {
+        {"be", 1.18}, {"fe", 1.08}, {"fb", 1.36}};
+
+    common::Table table({"workload", "TT linux (quanta)", "TT synpa (quanta)",
+                         "TT speedup", "bar"});
+    std::map<std::string, std::vector<double>> by_group;
+    for (const auto& c : comparisons) {
+        const std::string group = c.workload.substr(0, 2);
+        by_group[group].push_back(c.tt_speedup);
+        table.row()
+            .add(c.workload)
+            .add(c.baseline.turnaround_quanta, 1)
+            .add(c.treatment.turnaround_quanta, 1)
+            .add(c.tt_speedup, 3)
+            .add(common::ascii_bar((c.tt_speedup - 0.9) / 0.8, 32));
+    }
+    table.print(std::cout);
+
+    common::Table avg({"group", "mean TT speedup", "paper reference"});
+    for (const auto& [group, values] : by_group) {
+        const auto it = paper_group_ref.find(group);
+        avg.row()
+            .add(group + " (" + std::to_string(values.size()) + " workloads)")
+            .add(common::mean(values), 3)
+            .add(it != paper_group_ref.end() ? common::format_double(it->second, 2) : "-");
+    }
+    avg.print(std::cout);
+    std::cout << "expected ordering (paper): fb > be > fe, all >= 1\n";
+    return 0;
+}

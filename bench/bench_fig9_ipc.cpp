@@ -1,0 +1,66 @@
+// Reproduces Figure 9: IPC speedup (geometric mean of per-application IPCs)
+// of SYNPA over Linux across the 20 workloads.
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/synpa_policy.hpp"
+#include "model/trainer.hpp"
+#include "sched/baselines.hpp"
+#include "workloads/groups.hpp"
+#include "workloads/methodology.hpp"
+
+int main() {
+    using namespace synpa;
+    bench::print_header("Figure 9", "Speedup of IPC (geomean) over Linux");
+
+    const uarch::SimConfig cfg = uarch::SimConfig::from_env();
+    const workloads::MethodologyOptions opts = bench::default_methodology();
+
+    model::TrainerOptions topts;
+    topts.seed = opts.seed;
+    std::cout << "training the interference model...\n";
+    const model::TrainingResult trained =
+        model::Trainer(cfg, topts).train(workloads::training_apps());
+    const auto chars = workloads::characterize_suite(cfg, bench::characterization_quanta(),
+                                                     opts.seed);
+    const auto specs = workloads::paper_workloads(chars, opts.seed);
+
+    const workloads::PolicyFactory make_linux = [](std::uint64_t) {
+        return std::make_unique<sched::LinuxPolicy>();
+    };
+    const workloads::PolicyFactory make_synpa = [&](std::uint64_t) {
+        return std::make_unique<core::SynpaPolicy>(trained.model);
+    };
+    std::cout << "running " << specs.size() << " workloads x 2 policies x " << opts.reps
+              << " reps...\n\n";
+    const auto rows = workloads::compare_policies(specs, cfg, make_linux, make_synpa, opts);
+
+    common::Table table(
+        {"workload", "IPC linux", "IPC synpa", "IPC speedup", "TT speedup (context)"});
+    std::map<std::string, std::vector<double>> by_group;
+    for (const auto& r : rows) {
+        by_group[r.workload.substr(0, 2)].push_back(r.ipc_speedup);
+        table.row()
+            .add(r.workload)
+            .add(r.baseline.ipc_geomean, 3)
+            .add(r.treatment.ipc_geomean, 3)
+            .add(r.ipc_speedup, 3)
+            .add(r.tt_speedup, 3);
+    }
+    table.print(std::cout);
+
+    common::Table avg({"group", "mean IPC speedup", "paper reference"});
+    const std::map<std::string, const char*> ref = {
+        {"be", "~1.01"}, {"fe", "~1.008"}, {"fb", "~1.022"}};
+    for (const auto& [group, values] : by_group)
+        avg.row().add(group).add(common::mean(values), 3).add(ref.at(group));
+    avg.print(std::cout);
+    std::cout << "paper reference shape: IPC gains are an order of magnitude smaller\n"
+                 "than TT gains — throughput is nearly conserved; SYNPA's win comes from\n"
+                 "equalizing progress (fairness) and shortening the critical path.\n";
+    return 0;
+}

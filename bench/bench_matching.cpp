@@ -1,0 +1,49 @@
+// Micro-benchmark for the pair-selection step (paper §IV-B Step 3): the
+// Blossom algorithm vs the exact subset DP vs greedy, across thread counts.
+// The paper's motivation: the number of combinations explodes with cores,
+// so the selection must stay cheap.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "matching/matching.hpp"
+
+namespace {
+
+using namespace synpa;
+
+matching::WeightMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+    common::Rng rng(seed, 0xbe9c);
+    matching::WeightMatrix w(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v) w.set(u, v, rng.uniform(2.0, 4.0));
+    return w;
+}
+
+void BM_BlossomMinPerfect(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const matching::WeightMatrix w = random_matrix(n, 42);
+    const matching::BlossomMatcher matcher;
+    for (auto _ : state) benchmark::DoNotOptimize(matcher.min_weight_perfect(w).total_weight);
+}
+
+void BM_SubsetDpMinPerfect(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const matching::WeightMatrix w = random_matrix(n, 42);
+    const matching::SubsetDpMatcher matcher;
+    for (auto _ : state) benchmark::DoNotOptimize(matcher.min_weight_perfect(w).total_weight);
+}
+
+void BM_BruteForceMinPerfect(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const matching::WeightMatrix w = random_matrix(n, 42);
+    const matching::BruteForceMatcher matcher;
+    for (auto _ : state) benchmark::DoNotOptimize(matcher.min_weight_perfect(w).total_weight);
+}
+
+}  // namespace
+
+// 8 = the paper's workloads (4 cores), 16/56 = one-socket scale-out,
+// 112 = every hardware thread of the CN9975.
+BENCHMARK(BM_BlossomMinPerfect)->Arg(8)->Arg(16)->Arg(56)->Arg(112);
+BENCHMARK(BM_SubsetDpMinPerfect)->Arg(8)->Arg(16)->Arg(20);
+BENCHMARK(BM_BruteForceMinPerfect)->Arg(8)->Arg(10);

@@ -1,0 +1,64 @@
+// Micro-benchmark for the simulator substrate itself: simulated core-cycles
+// per second for isolated and SMT execution, which bounds how fast the
+// evaluation sweeps can run.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/instance.hpp"
+#include "apps/spec_suite.hpp"
+#include "uarch/chip.hpp"
+
+namespace {
+
+using namespace synpa;
+
+void BM_ChipQuantumIsolated(benchmark::State& state) {
+    uarch::SimConfig cfg;
+    cfg.cores = 1;
+    cfg.cycles_per_quantum = static_cast<std::uint64_t>(state.range(0));
+    uarch::Chip chip(cfg);
+    apps::AppInstance task(1, apps::find_app("mcf"), 1);
+    chip.bind(task, {.core = 0, .slot = 0});
+    for (auto _ : state) chip.run_quantum();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cfg.cycles_per_quantum));
+}
+
+void BM_ChipQuantumSmtPair(benchmark::State& state) {
+    uarch::SimConfig cfg;
+    cfg.cores = 1;
+    cfg.cycles_per_quantum = static_cast<std::uint64_t>(state.range(0));
+    uarch::Chip chip(cfg);
+    apps::AppInstance a(1, apps::find_app("mcf"), 1);
+    apps::AppInstance b(2, apps::find_app("leela_r"), 2);
+    chip.bind(a, {.core = 0, .slot = 0});
+    chip.bind(b, {.core = 0, .slot = 1});
+    for (auto _ : state) chip.run_quantum();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cfg.cycles_per_quantum));
+}
+
+void BM_ChipQuantumFullWorkload(benchmark::State& state) {
+    uarch::SimConfig cfg;  // 4 cores, 8 tasks: the evaluation shape
+    cfg.cycles_per_quantum = static_cast<std::uint64_t>(state.range(0));
+    uarch::Chip chip(cfg);
+    std::vector<std::unique_ptr<apps::AppInstance>> tasks;
+    const auto& suite = apps::spec_suite();
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back(std::make_unique<apps::AppInstance>(
+            i + 1, suite[static_cast<std::size_t>(i * 3)], static_cast<std::uint64_t>(i)));
+        chip.bind(*tasks.back(), {.core = i / 2, .slot = i % 2});
+    }
+    for (auto _ : state) chip.run_quantum();
+    // items = core-cycles simulated
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cfg.cycles_per_quantum) * 4);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChipQuantumIsolated)->Arg(50'000);
+BENCHMARK(BM_ChipQuantumSmtPair)->Arg(50'000);
+BENCHMARK(BM_ChipQuantumFullWorkload)->Arg(50'000);

@@ -1,0 +1,46 @@
+#include "apps/instance.hpp"
+
+namespace synpa::apps {
+
+AppInstance::AppInstance(int id, const AppProfile& profile, std::uint64_t seed)
+    : id_(id),
+      profile_(&profile),
+      phase_rng_(seed, common::hash_string(profile.name), 0x9a5e),
+      fe_rng_(seed, common::hash_string(profile.name), 0xfe),
+      be_rng_(seed, common::hash_string(profile.name), 0xbe) {
+    enter_phase(0);
+}
+
+void AppInstance::enter_phase(std::size_t idx) noexcept {
+    phase_idx_ = idx % profile_->phases.size();
+    const double mean = profile_->phases[phase_idx_].dwell_insts_mean;
+    // Geometric dwell with a floor so a phase is never degenerate.
+    const double drawn = phase_rng_.exponential(mean);
+    phase_insts_left_ = static_cast<std::uint64_t>(drawn < mean * 0.1 ? mean * 0.1 : drawn);
+}
+
+void AppInstance::retire(std::uint64_t n) noexcept {
+    insts_retired_ += n;
+    if (warmup_left_ > 0) warmup_left_ = warmup_left_ > n ? warmup_left_ - n : 0;
+    if (profile_->phases.size() > 1) {
+        while (n >= phase_insts_left_) {
+            n -= phase_insts_left_;
+            enter_phase(phase_idx_ + 1);
+        }
+        phase_insts_left_ -= n;
+    }
+}
+
+void AppInstance::start_warmup(std::uint64_t insts, double multiplier) noexcept {
+    warmup_total_ = insts;
+    warmup_left_ = insts;
+    warmup_peak_ = multiplier < 1.0 ? 1.0 : multiplier;
+}
+
+double AppInstance::warmup_multiplier() const noexcept {
+    if (warmup_left_ == 0 || warmup_total_ == 0) return 1.0;
+    const double frac = static_cast<double>(warmup_left_) / static_cast<double>(warmup_total_);
+    return 1.0 + (warmup_peak_ - 1.0) * frac;
+}
+
+}  // namespace synpa::apps

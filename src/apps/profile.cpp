@@ -1,0 +1,38 @@
+#include "apps/profile.hpp"
+
+#include <stdexcept>
+
+namespace synpa::apps {
+namespace {
+
+void require(bool cond, const std::string& app, const std::string& what) {
+    if (!cond) throw std::invalid_argument("AppProfile '" + app + "': " + what);
+}
+
+}  // namespace
+
+void validate_profile(const AppProfile& profile) {
+    require(!profile.name.empty(), profile.name, "empty name");
+    require(!profile.phases.empty(), profile.name, "no phases");
+    for (const PhaseParams& p : profile.phases) {
+        require(p.dispatch_demand > 0.0 && p.dispatch_demand <= 4.0, profile.name,
+                "dispatch_demand out of (0,4]: " + p.name);
+        require(p.fe_events_per_kinst >= 0.0, profile.name, "negative FE rate: " + p.name);
+        require(p.be_events_per_kinst >= 0.0, profile.name, "negative BE rate: " + p.name);
+        require(p.fe_branch_fraction >= 0.0 && p.fe_branch_fraction <= 1.0, profile.name,
+                "fe_branch_fraction outside [0,1]: " + p.name);
+        require(p.icache_l2_fraction >= 0.0 && p.icache_l2_fraction <= 1.0, profile.name,
+                "icache_l2_fraction outside [0,1]: " + p.name);
+        require(p.l2_hit_fraction >= 0.0 && p.l2_hit_fraction <= 1.0, profile.name,
+                "l2_hit_fraction outside [0,1]: " + p.name);
+        require(p.llc_hit_fraction >= 0.0 && p.llc_hit_fraction <= 1.0, profile.name,
+                "llc_hit_fraction outside [0,1]: " + p.name);
+        require(p.mlp >= 1.0, profile.name, "mlp below 1: " + p.name);
+        require(p.code_footprint_kb >= 0.0, profile.name, "negative code footprint: " + p.name);
+        require(p.data_footprint_l2_kb >= 0.0, profile.name, "negative L2 footprint: " + p.name);
+        require(p.data_footprint_llc_mb >= 0.0, profile.name, "negative LLC footprint: " + p.name);
+        require(p.dwell_insts_mean > 0.0, profile.name, "non-positive dwell: " + p.name);
+    }
+}
+
+}  // namespace synpa::apps

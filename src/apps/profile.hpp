@@ -1,0 +1,84 @@
+// Application behaviour profiles.
+//
+// SPEC CPU binaries and inputs are proprietary, and SYNPA never looks at
+// code anyway — it only observes dispatch-stage counter behaviour.  Each
+// paper application is therefore modelled as a sequence of *phases*, each a
+// vector of microarchitectural demand parameters (dispatch ILP, frontend
+// event rates, data-miss rates and levels, memory-level parallelism,
+// working-set footprints).  The SMT core turns those demands into cycles,
+// stalls and counter values mechanistically, so inter-thread interference
+// emerges from resource arbitration instead of being scripted.
+//
+// Phase dwell is expressed in *instructions* (progress), not wall time, so
+// an application's intrinsic behaviour is identical under every scheduling
+// policy and slowdown only changes how long a phase takes — exactly the
+// property the paper's instruction-count alignment relies on (§IV-C).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synpa::apps {
+
+/// Demand parameters for one execution phase.
+struct PhaseParams {
+    std::string name;
+
+    /// Instructions the application can dispatch per cycle when nothing
+    /// stalls (limited by its intrinsic ILP); in (0, dispatch_width].
+    double dispatch_demand = 3.0;
+
+    // ---- frontend --------------------------------------------------------
+    /// Frontend events (ICache misses + branch mispredictions) per 1000
+    /// dispatched instructions.
+    double fe_events_per_kinst = 5.0;
+    /// Fraction of frontend events that are branch mispredictions (these
+    /// flush the fetch buffer); the rest are ICache misses.
+    double fe_branch_fraction = 0.5;
+    /// Fraction of ICache misses served by the L2 (rest go to the LLC).
+    double icache_l2_fraction = 0.85;
+    /// Instruction working set in KB (contends for the shared 32 KB L1I).
+    double code_footprint_kb = 16.0;
+
+    // ---- backend ---------------------------------------------------------
+    /// Long-latency data events (loads missing the L1D) per 1000
+    /// dispatched instructions.
+    double be_events_per_kinst = 8.0;
+    /// Isolated fraction of those events served by the per-core L2.
+    double l2_hit_fraction = 0.5;
+    /// Isolated fraction of L2 misses served by the shared LLC.
+    double llc_hit_fraction = 0.6;
+    /// Memory-level parallelism: overlapped misses per stall episode.
+    double mlp = 1.5;
+    /// Data working set competing for the per-core L2, in KB.
+    double data_footprint_l2_kb = 128.0;
+    /// Data working set competing for the chip LLC, in MB.
+    double data_footprint_llc_mb = 2.0;
+
+    // ---- phase machine ----------------------------------------------------
+    /// Expected phase duration in dispatched instructions.
+    double dwell_insts_mean = 400'000.0;
+};
+
+/// A named application: one or more phases visited cyclically with
+/// geometrically distributed dwell.
+struct AppProfile {
+    std::string name;
+    std::vector<PhaseParams> phases;
+
+    /// Isolated three-category fractions per phase (full-dispatch, frontend,
+    /// backend), filled in by calibration (see workloads::calibrate_suite);
+    /// empty until then.  Used by the Oracle policy and by tests.
+    std::vector<std::array<double, 3>> phase_categories;
+
+    const PhaseParams& phase(std::size_t idx) const { return phases.at(idx % phases.size()); }
+    std::size_t phase_count() const noexcept { return phases.size(); }
+};
+
+/// Validates profile invariants (rates non-negative, fractions in [0,1],
+/// demand within (0, 4], at least one phase).  Throws on violation.
+void validate_profile(const AppProfile& profile);
+
+}  // namespace synpa::apps

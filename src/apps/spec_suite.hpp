@@ -1,0 +1,36 @@
+// The 28 applications studied in the paper (SPEC CPU 2006/2017 mix),
+// reconstructed as synthetic behaviour profiles.
+//
+// Parameters are calibrated so that the isolated dispatch-stage
+// characterization reproduces the paper's Table III grouping and Figure 4
+// spread:
+//   * backend bound  (BE stalls > 65%): cactuBSSN_r, lbm_r, mcf, milc,
+//                                       xalancbmk_r, wrf_r
+//   * frontend bound (FE stalls > 35%): astar, gobmk, leela_r, mcf_r,
+//                                       perlbench
+//   * Others: full-dispatch fraction ranging from ~20% (hmmer) to ~61%
+//             (nab_r)
+// leela_r (and a few others) are multi-phase so they alternate frontend and
+// backend behaviour at runtime — the property SYNPA exploits dynamically in
+// the paper's Figure 7 / Table V analysis.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "apps/profile.hpp"
+
+namespace synpa::apps {
+
+/// The full 28-application suite, in a fixed canonical order.
+/// The returned reference is to an immutable function-local static EXCEPT
+/// that workloads::calibrate_suite() fills in phase_categories once.
+std::vector<AppProfile>& spec_suite();
+
+/// Looks an application up by name; throws std::out_of_range when missing.
+const AppProfile& find_app(std::string_view name);
+
+/// True when `name` names one of the 28 suite applications.
+bool has_app(std::string_view name);
+
+}  // namespace synpa::apps

@@ -1,0 +1,34 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace synpa::common {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+    const char* v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0') return fallback;
+    try {
+        return std::stoll(v);
+    } catch (const std::exception&) {
+        return fallback;
+    }
+}
+
+double env_double(const std::string& name, double fallback) {
+    const char* v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0') return fallback;
+    try {
+        return std::stod(v);
+    } catch (const std::exception&) {
+        return fallback;
+    }
+}
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+    const char* v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0') return fallback;
+    return v;
+}
+
+}  // namespace synpa::common

@@ -1,0 +1,16 @@
+// Environment-variable configuration helpers.  Every bench binary honours
+// SYNPA_* overrides (repetitions, quantum cycles, seeds) so the full suite
+// can be scaled up or down without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace synpa::common {
+
+/// Reads an environment variable; returns `fallback` when unset or invalid.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+double env_double(const std::string& name, double fallback);
+std::string env_string(const std::string& name, const std::string& fallback);
+
+}  // namespace synpa::common

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace synpa::common {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(n_);
+    const auto m = static_cast<double>(other.n_);
+    mean_ += delta * m / (n + m);
+    m2_ += other.m2_ + delta * delta * n * m / (n + m);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+    RunningStats s;
+    for (double x : xs) s.add(x);
+    return s.mean();
+}
+
+double stddev(std::span<const double> xs) noexcept {
+    RunningStats s;
+    for (double x : xs) s.add(x);
+    return s.stddev();
+}
+
+double geomean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += std::log(std::max(x, 1e-300));
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double mse(std::span<const double> predicted, std::span<const double> observed) noexcept {
+    if (predicted.empty() || predicted.size() != observed.size()) return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - observed[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(predicted.size());
+}
+
+double coefficient_of_variation(std::span<const double> xs) noexcept {
+    const double m = mean(xs);
+    if (m == 0.0) return 0.0;
+    return stddev(xs) / std::abs(m);
+}
+
+std::vector<double> discard_outliers_until_cv(std::vector<double> xs, double cv_limit,
+                                              std::size_t min_keep) {
+    while (xs.size() > std::max<std::size_t>(min_keep, 1) &&
+           coefficient_of_variation(xs) > cv_limit) {
+        const double m = mean(xs);
+        auto worst = xs.begin();
+        double worst_dev = -1.0;
+        for (auto it = xs.begin(); it != xs.end(); ++it) {
+            const double dev = std::abs(*it - m);
+            if (dev > worst_dev) {
+                worst_dev = dev;
+                worst = it;
+            }
+        }
+        xs.erase(worst);
+    }
+    return xs;
+}
+
+}  // namespace synpa::common

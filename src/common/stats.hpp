@@ -1,0 +1,56 @@
+// Statistics helpers used throughout the evaluation pipeline: running
+// moments, geometric means, mean-square error, and the coefficient of
+// variation that drives the paper's repetition/outlier-discard methodology.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace synpa::common {
+
+/// Accumulates count/mean/variance in one pass (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    void merge(const RunningStats& other) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Population variance (divides by n).
+    double variance() const noexcept;
+    /// Sample variance (divides by n-1); 0 when fewer than two samples.
+    double sample_variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+
+/// Geometric mean; values must be positive (non-positive entries are
+/// clamped to a tiny epsilon so a single bad sample cannot poison a report).
+double geomean(std::span<const double> xs) noexcept;
+
+/// Mean square error between predictions and observations (equal length).
+double mse(std::span<const double> predicted, std::span<const double> observed) noexcept;
+
+/// Coefficient of variation: stddev / mean (0 when mean is 0).
+double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+/// The paper's repetition methodology: repeatedly discard the sample
+/// farthest from the mean until the coefficient of variation drops below
+/// `cv_limit` (or only `min_keep` samples remain).  Returns the retained
+/// samples in their original order.
+std::vector<double> discard_outliers_until_cv(std::vector<double> xs, double cv_limit,
+                                              std::size_t min_keep = 3);
+
+}  // namespace synpa::common

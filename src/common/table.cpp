@@ -1,0 +1,112 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace synpa::common {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+    return *this;
+}
+
+Table& Table::add(std::string cell) {
+    if (rows_.empty()) row();
+    rows_.back().push_back(std::move(cell));
+    return *this;
+}
+
+Table& Table::add(double value, int precision) { return add(format_double(value, precision)); }
+
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+
+Table& Table::add_pct(double fraction, int precision) {
+    return add(format_double(fraction * 100.0, precision) + "%");
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_sep = [&] {
+        os << '+';
+        for (auto w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+            os << '+';
+        }
+        os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& s = c < cells.size() ? cells[c] : std::string{};
+            os << ' ' << s;
+            for (std::size_t i = s.size(); i < widths[c] + 1; ++i) os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    print_sep();
+    print_row(headers_);
+    print_sep();
+    for (const auto& r : rows_) print_row(r);
+    print_sep();
+}
+
+std::string Table::to_csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+}
+
+std::string format_double(double value, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string ascii_bar(double fraction, std::size_t width, char fill) {
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const auto n = static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+    std::string bar(n, fill);
+    bar.append(width - n, '.');
+    return bar;
+}
+
+std::string stacked_bar(double a, double b, double c, std::size_t width) {
+    a = std::max(a, 0.0);
+    b = std::max(b, 0.0);
+    c = std::max(c, 0.0);
+    const double total = std::max(a + b + c, 1e-12);
+    auto na = static_cast<std::size_t>(std::lround(a / total * static_cast<double>(width)));
+    auto nb = static_cast<std::size_t>(std::lround(b / total * static_cast<double>(width)));
+    na = std::min(na, width);
+    nb = std::min(nb, width - na);
+    const std::size_t nc = width - na - nb;
+    std::string bar;
+    bar.append(na, '#');  // full-dispatch cycles
+    bar.append(nb, 'F');  // frontend stalls
+    bar.append(nc, 'B');  // backend stalls
+    return bar;
+}
+
+}  // namespace synpa::common

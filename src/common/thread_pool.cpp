@@ -1,0 +1,63 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace synpa::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++in_flight_;
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+        }
+        cv_idle_.notify_all();
+    }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+    if (n == 0) return;
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < n; ++i) pool.submit([i, &fn] { fn(i); });
+    pool.wait_idle();
+}
+
+}  // namespace synpa::common

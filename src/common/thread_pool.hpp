@@ -1,0 +1,54 @@
+// A small fixed-size thread pool with a parallel_for_each helper.
+//
+// The evaluation sweeps (20 workloads x 2 policies x N repetitions, and the
+// all-pairs training runs) are embarrassingly parallel across independent
+// simulator instances, so the benches fan them out over hardware threads.
+// On a single-core host the pool degrades gracefully to near-serial
+// execution with the same deterministic results (each task owns its RNG).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace synpa::common {
+
+class ThreadPool {
+public:
+    /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueues a task for asynchronous execution.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across a temporary pool and waits.
+/// Exceptions from tasks terminate (tasks are expected not to throw).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace synpa::common

@@ -1,0 +1,63 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace synpa::core {
+
+SynpaEstimator::SynpaEstimator(model::InterferenceModel model, Options opts)
+    : model_(std::move(model)), opts_(opts) {}
+
+void SynpaEstimator::observe(std::span<const sched::TaskObservation> observations) {
+    std::unordered_map<int, const sched::TaskObservation*> by_id;
+    for (const auto& o : observations) by_id[o.task_id] = &o;
+
+    auto ema_update = [&](int id, const model::CategoryVector& fresh) {
+        auto [it, inserted] = estimates_.try_emplace(id, fresh);
+        if (inserted) return;
+        for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+            it->second[c] = opts_.ema_alpha * fresh[c] + (1.0 - opts_.ema_alpha) * it->second[c];
+        // Keep the estimate on the simplex after mixing.
+        double sum = 0.0;
+        for (double x : it->second) sum += x;
+        if (sum > 1e-9)
+            for (double& x : it->second) x /= sum;
+    };
+
+    for (const auto& o : observations) {
+        if (o.corunner_task_id < 0) {
+            // Ran alone: the SMT fractions *are* isolated fractions.
+            ema_update(o.task_id, o.breakdown.fractions());
+            continue;
+        }
+        if (o.corunner_task_id < o.task_id) continue;  // handle each pair once
+        const auto it = by_id.find(o.corunner_task_id);
+        if (it == by_id.end()) continue;
+        const model::ModelInverter inverter(model_, opts_.inversion);
+        const model::InversionResult inv =
+            inverter.invert(o.breakdown.fractions(), it->second->breakdown.fractions());
+        ema_update(o.task_id, inv.st_i);
+        ema_update(o.corunner_task_id, inv.st_j);
+    }
+}
+
+model::CategoryVector SynpaEstimator::estimate(int task_id) const {
+    const auto it = estimates_.find(task_id);
+    if (it != estimates_.end()) return it->second;
+    return {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+}
+
+double SynpaEstimator::pair_weight(int task_u, int task_v) const {
+    const model::CategoryVector eu = estimate(task_u);
+    const model::CategoryVector ev = estimate(task_v);
+    return model_.predict_slowdown(eu, ev) + model_.predict_slowdown(ev, eu);
+}
+
+void SynpaEstimator::transfer(int old_task_id, int new_task_id) {
+    const auto it = estimates_.find(old_task_id);
+    if (it == estimates_.end()) return;
+    estimates_[new_task_id] = it->second;
+    estimates_.erase(old_task_id);
+}
+
+}  // namespace synpa::core

@@ -1,0 +1,63 @@
+// SYNPA's runtime estimation engine (paper §IV-B, Steps 1-2).
+//
+// Each quantum the estimator receives every task's SMT category fractions
+// together with who it shared a core with.  Per co-running pair it inverts
+// the interference model to recover isolated-execution estimates, smooths
+// them with an EMA (phases last several quanta, and smoothing rejects
+// single-quantum noise), and can then predict the slowdown of *any*
+// candidate pair with the forward model — two evaluations of Equation 1
+// per pair, six coefficient multiplications total, which is the 40%
+// overhead reduction vs. the five-equation IBM-style model the paper
+// quantifies.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <span>
+#include <unordered_map>
+
+#include "model/interference_model.hpp"
+#include "model/inversion.hpp"
+#include "sched/policy.hpp"
+
+namespace synpa::core {
+
+class SynpaEstimator {
+public:
+    struct Options {
+        double ema_alpha = 0.5;  ///< weight of the newest inversion result
+        model::ModelInverter::Options inversion{};
+    };
+
+    /// The model is copied: the estimator owns its coefficients.
+    explicit SynpaEstimator(model::InterferenceModel model)
+        : SynpaEstimator(std::move(model), Options()) {}
+    SynpaEstimator(model::InterferenceModel model, Options opts);
+
+    /// Digests one quantum of observations: inverts the model for every
+    /// co-running pair and updates the per-task isolated estimates.
+    void observe(std::span<const sched::TaskObservation> observations);
+
+    /// Current isolated-fraction estimate for a task; tasks never observed
+    /// yet return a uniform prior.
+    model::CategoryVector estimate(int task_id) const;
+
+    bool has_estimate(int task_id) const { return estimates_.contains(task_id); }
+
+    /// Predicted combined badness of co-scheduling (u, v): slowdown of u
+    /// next to v plus slowdown of v next to u.
+    double pair_weight(int task_u, int task_v) const;
+
+    /// Transfers the estimate across a relaunch (same application, so the
+    /// behaviour estimate remains the best prior available).
+    void transfer(int old_task_id, int new_task_id);
+
+    const model::InterferenceModel& model() const noexcept { return model_; }
+
+private:
+    model::InterferenceModel model_;
+    Options opts_;
+    std::unordered_map<int, model::CategoryVector> estimates_;
+};
+
+}  // namespace synpa::core

@@ -1,0 +1,133 @@
+#include "core/synpa_policy.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <unordered_map>
+
+#include "sched/baselines.hpp"
+
+namespace synpa::core {
+namespace {
+
+/// Greedy pair selection: repeatedly takes the lightest remaining edge.
+std::vector<std::pair<int, int>> greedy_pairs(const matching::WeightMatrix& w) {
+    const std::size_t n = w.size();
+    struct Edge {
+        double weight;
+        std::size_t u, v;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(n * (n - 1) / 2);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v) edges.push_back({w.get(u, v), u, v});
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        return a.weight < b.weight;
+    });
+    std::vector<bool> used(n, false);
+    std::vector<std::pair<int, int>> out;
+    for (const Edge& e : edges) {
+        if (used[e.u] || used[e.v]) continue;
+        used[e.u] = used[e.v] = true;
+        out.emplace_back(static_cast<int>(e.u), static_cast<int>(e.v));
+        if (out.size() * 2 == n) break;
+    }
+    return out;
+}
+
+/// Adapts the greedy heuristic to the Matcher interface so it can share the
+/// hysteresis logic with the exact solvers.
+class GreedyMatcher final : public matching::Matcher {
+public:
+    matching::MatchingResult min_weight_perfect(
+        const matching::WeightMatrix& w) const override {
+        matching::MatchingResult r;
+        r.pairs = greedy_pairs(w);
+        r.mate.assign(w.size(), -1);
+        for (auto [u, v] : r.pairs) {
+            r.mate[static_cast<std::size_t>(u)] = v;
+            r.mate[static_cast<std::size_t>(v)] = u;
+        }
+        r.total_weight = matching::matching_weight(w, r.pairs);
+        return r;
+    }
+    matching::MatchingResult max_weight_perfect(
+        const matching::WeightMatrix& w) const override {
+        matching::WeightMatrix neg(w.size());
+        for (std::size_t u = 0; u < w.size(); ++u)
+            for (std::size_t v = u + 1; v < w.size(); ++v) neg.set(u, v, -w.get(u, v));
+        matching::MatchingResult r = min_weight_perfect(neg);
+        r.total_weight = matching::matching_weight(w, r.pairs);
+        return r;
+    }
+};
+
+}  // namespace
+
+SynpaPolicy::SynpaPolicy(model::InterferenceModel model, Options opts)
+    : model_(model), opts_(opts), estimator_(model_, opts.estimator) {}
+
+std::string SynpaPolicy::name() const {
+    switch (opts_.selector) {
+        case PairSelector::kBlossom: return "synpa";
+        case PairSelector::kSubsetDp: return "synpa-dp";
+        case PairSelector::kGreedy: return "synpa-greedy";
+    }
+    return "synpa";
+}
+
+const matching::Matcher& SynpaPolicy::matcher() const {
+    static const GreedyMatcher greedy;
+    switch (opts_.selector) {
+        case PairSelector::kBlossom: return blossom_;
+        case PairSelector::kSubsetDp: return subset_dp_;
+        case PairSelector::kGreedy: return greedy;
+    }
+    return blossom_;
+}
+
+std::vector<std::pair<int, int>> SynpaPolicy::select_pairs(
+    const matching::WeightMatrix& weights) const {
+    return matcher().min_weight_perfect(weights).pairs;
+}
+
+sched::PairAllocation SynpaPolicy::reallocate(
+    std::span<const sched::TaskObservation> observations) {
+    // Step 1: refresh isolated-behaviour estimates from this quantum.
+    estimator_.observe(observations);
+
+    // Step 2: predicted combined slowdown for every candidate pair.
+    const std::size_t n = observations.size();
+    matching::WeightMatrix weights(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v)
+            weights.set(u, v, estimator_.pair_weight(observations[u].task_id,
+                                                     observations[v].task_id));
+
+    // Current pairing in index space, for hysteresis.
+    std::vector<std::pair<int, int>> current;
+    std::unordered_map<int, std::size_t> index_of;
+    for (std::size_t i = 0; i < n; ++i) index_of[observations[i].task_id] = i;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int partner = observations[i].corunner_task_id;
+        const auto it = partner >= 0 ? index_of.find(partner) : index_of.end();
+        if (it != index_of.end() && it->second > i)
+            current.emplace_back(static_cast<int>(i), static_cast<int>(it->second));
+    }
+
+    // Step 3: most synergistic perfect matching, with hysteresis against
+    // churn, placed to avoid migrations.
+    const matching::StabilizedSelection sel = matching::stabilized_min_weight(
+        weights, current, matcher(), opts_.stability_bias, opts_.keep_threshold);
+    std::vector<std::pair<int, int>> id_pairs;
+    for (auto [u, v] : sel.pairs)
+        id_pairs.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
+                              observations[static_cast<std::size_t>(v)].task_id);
+    return sched::place_pairs(id_pairs, observations);
+}
+
+void SynpaPolicy::on_task_replaced(int old_task_id, int new_task_id) {
+    estimator_.transfer(old_task_id, new_task_id);
+}
+
+}  // namespace synpa::core

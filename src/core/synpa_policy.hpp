@@ -1,0 +1,68 @@
+// The SYNPA allocation policy (paper §IV-B, Figure 3).
+//
+// Per quantum:
+//   Step 1 — estimate isolated category values by inverting the
+//            interference model on the observed SMT fractions,
+//   Step 2 — predict the slowdown of every candidate pair with the forward
+//            model (Equation 1 applied in both directions),
+//   Step 3 — pick the minimum-total-slowdown perfect matching (Blossom, as
+//            in the paper; exact subset-DP and greedy selectors are
+//            available for the ablation benches) and allocate pairs to
+//            cores, preferring placements that avoid migrations.
+#pragma once
+
+#include <memory>
+
+#include "core/estimator.hpp"
+#include "matching/matching.hpp"
+#include "model/interference_model.hpp"
+#include "sched/policy.hpp"
+
+namespace synpa::core {
+
+/// Pair-selection strategy for Step 3.
+enum class PairSelector {
+    kBlossom,   ///< Edmonds' Blossom algorithm (the paper's choice)
+    kSubsetDp,  ///< exact subset DP (identical pairs, different solver)
+    kGreedy,    ///< best-first greedy (ablation: cheaper, possibly worse)
+};
+
+class SynpaPolicy final : public sched::AllocationPolicy {
+public:
+    struct Options {
+        PairSelector selector = PairSelector::kBlossom;
+        SynpaEstimator::Options estimator{};
+        /// Hysteresis (see matching::stabilized_min_weight): prediction
+        /// noise creates near-tie matchings, and oscillating between them
+        /// costs real migrations.  Set both to 0 for the paper's plain
+        /// re-solve-every-quantum behaviour (bench_ablation_policy).
+        double stability_bias = 0.002;
+        double keep_threshold = 0.001;
+    };
+
+    explicit SynpaPolicy(model::InterferenceModel model)
+        : SynpaPolicy(std::move(model), Options()) {}
+    SynpaPolicy(model::InterferenceModel model, Options opts);
+
+    std::string name() const override;
+    sched::PairAllocation reallocate(
+        std::span<const sched::TaskObservation> observations) override;
+    void on_task_replaced(int old_task_id, int new_task_id) override;
+
+    const SynpaEstimator& estimator() const noexcept { return estimator_; }
+
+    /// Step 2+3 on an explicit weight matrix (exposed for tests/benches).
+    std::vector<std::pair<int, int>> select_pairs(const matching::WeightMatrix& weights) const;
+
+    /// The Matcher implementing the configured selector.
+    const matching::Matcher& matcher() const;
+
+private:
+    model::InterferenceModel model_;
+    Options opts_;
+    SynpaEstimator estimator_;
+    matching::BlossomMatcher blossom_;
+    matching::SubsetDpMatcher subset_dp_;
+};
+
+}  // namespace synpa::core

@@ -1,0 +1,103 @@
+#include "linalg/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace synpa::linalg {
+namespace {
+
+/// Fills in mse / r_squared for a fitted coefficient vector.
+void finalize(const Matrix& a, std::span<const double> b, LeastSquaresResult& out) {
+    const std::size_t m = a.rows();
+    std::vector<double> pred(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) pred[r] += a(r, c) * out.coefficients[c];
+
+    double ss_res = 0.0;
+    synpa::common::RunningStats ys;
+    for (std::size_t r = 0; r < m; ++r) {
+        const double d = pred[r] - b[r];
+        ss_res += d * d;
+        ys.add(b[r]);
+    }
+    out.mse = m ? ss_res / static_cast<double>(m) : 0.0;
+    const double ss_tot = ys.variance() * static_cast<double>(m);
+    out.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+}  // namespace
+
+LeastSquaresResult least_squares(const Matrix& a_in, std::span<const double> b_in) {
+    const std::size_t m = a_in.rows();
+    const std::size_t n = a_in.cols();
+    if (m < n) throw std::invalid_argument("least_squares: fewer rows than columns");
+    if (b_in.size() != m) throw std::invalid_argument("least_squares: rhs size mismatch");
+
+    Matrix a = a_in;
+    std::vector<double> b(b_in.begin(), b_in.end());
+
+    // Householder QR applied in place; b is updated with each reflector.
+    for (std::size_t k = 0; k < n; ++k) {
+        double norm = 0.0;
+        for (std::size_t r = k; r < m; ++r) norm += a(r, k) * a(r, k);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) throw std::runtime_error("least_squares: rank-deficient design");
+        if (a(k, k) > 0.0) norm = -norm;
+
+        // Householder vector v stored in column k below the diagonal.
+        const double akk = a(k, k) - norm;
+        std::vector<double> v(m - k);
+        v[0] = akk;
+        for (std::size_t r = k + 1; r < m; ++r) v[r - k] = a(r, k);
+        double vtv = 0.0;
+        for (double x : v) vtv += x * x;
+        if (vtv < 1e-300) continue;
+
+        for (std::size_t c = k; c < n; ++c) {
+            double dot = 0.0;
+            for (std::size_t r = k; r < m; ++r) dot += v[r - k] * a(r, c);
+            const double f = 2.0 * dot / vtv;
+            for (std::size_t r = k; r < m; ++r) a(r, c) -= f * v[r - k];
+        }
+        double dotb = 0.0;
+        for (std::size_t r = k; r < m; ++r) dotb += v[r - k] * b[r];
+        const double fb = 2.0 * dotb / vtv;
+        for (std::size_t r = k; r < m; ++r) b[r] -= fb * v[r - k];
+        a(k, k) = norm;
+    }
+
+    // Back-substitution on the R factor.
+    LeastSquaresResult out;
+    out.coefficients.assign(n, 0.0);
+    for (std::size_t ki = n; ki-- > 0;) {
+        double acc = b[ki];
+        for (std::size_t c = ki + 1; c < n; ++c) acc -= a(ki, c) * out.coefficients[c];
+        if (std::abs(a(ki, ki)) < 1e-12)
+            throw std::runtime_error("least_squares: rank-deficient design");
+        out.coefficients[ki] = acc / a(ki, ki);
+    }
+    finalize(a_in, b_in, out);
+    return out;
+}
+
+LeastSquaresResult ridge_least_squares(const Matrix& a, std::span<const double> b,
+                                       double lambda, bool skip_first_column) {
+    const std::size_t n = a.cols();
+    if (b.size() != a.rows()) throw std::invalid_argument("ridge: rhs size mismatch");
+
+    // Normal equations: (A^T A + lambda I) x = A^T b.
+    Matrix ata = a.transposed() * a;
+    for (std::size_t i = skip_first_column ? 1 : 0; i < n; ++i) ata(i, i) += lambda;
+    std::vector<double> atb(n, 0.0);
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < n; ++c) atb[c] += a(r, c) * b[r];
+
+    LeastSquaresResult out;
+    out.coefficients = solve_gaussian(std::move(ata), std::move(atb));
+    finalize(a, b, out);
+    return out;
+}
+
+}  // namespace synpa::linalg

@@ -1,0 +1,32 @@
+// Linear least squares via Householder QR.  This is the fitting engine for
+// the paper's per-category regression model (Equation 1): design matrices
+// have a handful of columns (intercept, C_i, C_j, C_i*C_j) and thousands of
+// sample rows, so a dense QR is both robust and plenty fast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace synpa::linalg {
+
+struct LeastSquaresResult {
+    std::vector<double> coefficients;  ///< One per design-matrix column.
+    double mse = 0.0;                  ///< Mean square residual on the fit data.
+    double r_squared = 0.0;            ///< Coefficient of determination.
+};
+
+/// Solves min ||A x - b||_2 with Householder QR.  Requires rows >= cols and
+/// a full-rank A (throws std::runtime_error on rank deficiency).
+LeastSquaresResult least_squares(const Matrix& a, std::span<const double> b);
+
+/// Ridge-regularized variant: min ||Ax-b||^2 + lambda ||x||^2 (the intercept
+/// column, if flagged, is excluded from the penalty).  Solved via the normal
+/// equations, which is adequate at these scales; used by the trainer when a
+/// category's design matrix is near-collinear.
+LeastSquaresResult ridge_least_squares(const Matrix& a, std::span<const double> b,
+                                       double lambda, bool skip_first_column = true);
+
+}  // namespace synpa::linalg

@@ -1,0 +1,114 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synpa::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+        if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix multiply: shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) continue;
+            for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+        }
+    return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+    if (cols_ != v.size()) throw std::invalid_argument("Matrix-vector multiply: shape mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+    return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        throw std::invalid_argument("Matrix add: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        throw std::invalid_argument("Matrix subtract: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+    return out;
+}
+
+double Matrix::max_abs() const noexcept {
+    double m = 0.0;
+    for (double x : data_) m = std::max(m, std::abs(x));
+    return m;
+}
+
+std::vector<double> solve_gaussian(Matrix a, std::vector<double> b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        throw std::invalid_argument("solve_gaussian: shape mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+        if (std::abs(a(pivot, col)) < 1e-12)
+            throw std::runtime_error("solve_gaussian: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a(r, col) / a(col, col);
+            if (f == 0.0) continue;
+            for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+        x[ri] = acc / a(ri, ri);
+    }
+    return x;
+}
+
+bool solve2x2(double a11, double a12, double a21, double a22, double b1, double b2,
+              double& x1, double& x2) noexcept {
+    const double det = a11 * a22 - a12 * a21;
+    if (std::abs(det) < 1e-14) return false;
+    x1 = (b1 * a22 - b2 * a12) / det;
+    x2 = (a11 * b2 - a21 * b1) / det;
+    return true;
+}
+
+}  // namespace synpa::linalg

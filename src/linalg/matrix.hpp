@@ -1,0 +1,60 @@
+// Minimal dense linear algebra: just enough for least-squares regression
+// (Householder QR), the model-inversion Jacobians, and tests.  Row-major
+// storage, bounds-checked element access in debug builds via assert.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace synpa::linalg {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    /// Builds from nested initializer lists; all rows must be equally long.
+    Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool empty() const noexcept { return data_.empty(); }
+
+    double& operator()(std::size_t r, std::size_t c) noexcept {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const noexcept {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    Matrix transposed() const;
+    Matrix operator*(const Matrix& rhs) const;
+    std::vector<double> operator*(const std::vector<double>& v) const;
+    Matrix operator+(const Matrix& rhs) const;
+    Matrix operator-(const Matrix& rhs) const;
+
+    /// Largest absolute element (max norm); 0 for an empty matrix.
+    double max_abs() const noexcept;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves the square system A x = b with partial-pivoting Gaussian
+/// elimination.  Throws std::runtime_error if A is (numerically) singular.
+std::vector<double> solve_gaussian(Matrix a, std::vector<double> b);
+
+/// Solves a 2x2 linear system; returns false when the determinant is ~0.
+bool solve2x2(double a11, double a12, double a21, double a22, double b1, double b2,
+              double& x1, double& x2) noexcept;
+
+}  // namespace synpa::linalg

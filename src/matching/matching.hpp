@@ -1,0 +1,121 @@
+// Pair selection as a matching problem (paper §IV-B, Step 3).
+//
+// SYNPA predicts, for every pair of applications, the combined slowdown the
+// pair would suffer sharing an SMT core, then picks the partition of the 2N
+// applications into N pairs minimizing total predicted slowdown.  That is a
+// minimum-weight perfect matching on a complete graph, which the paper
+// solves with Edmonds' Blossom algorithm [21].
+//
+// This module provides three interchangeable solvers:
+//   * BlossomMatcher  — O(n^3) primal-dual Blossom (the paper's choice),
+//   * SubsetDpMatcher — exact O(2^n * n) dynamic program (n <= 24),
+//   * BruteForceMatcher — exhaustive enumeration (n <= 12, reference).
+// Property tests check they agree on random instances.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace synpa::matching {
+
+/// Symmetric dense weight matrix for an even number of vertices.
+/// Weights may be any finite doubles (slowdowns, in SYNPA's use).
+class WeightMatrix {
+public:
+    WeightMatrix() = default;
+    explicit WeightMatrix(std::size_t n, double fill = 0.0) : n_(n), w_(n * n, fill) {}
+
+    std::size_t size() const noexcept { return n_; }
+
+    void set(std::size_t u, std::size_t v, double w) {
+        check(u, v);
+        w_[u * n_ + v] = w;
+        w_[v * n_ + u] = w;
+    }
+    double get(std::size_t u, std::size_t v) const {
+        check(u, v);
+        return w_[u * n_ + v];
+    }
+
+    double min_weight() const noexcept;
+    double max_weight() const noexcept;
+
+private:
+    void check(std::size_t u, std::size_t v) const {
+        if (u >= n_ || v >= n_) throw std::out_of_range("WeightMatrix index");
+    }
+    std::size_t n_ = 0;
+    std::vector<double> w_;
+};
+
+/// A perfect matching: `mate[v]` is v's partner; `pairs` lists each pair
+/// once with u < v; `total_weight` sums the pair weights.
+struct MatchingResult {
+    std::vector<int> mate;
+    std::vector<std::pair<int, int>> pairs;
+    double total_weight = 0.0;
+};
+
+/// Interface shared by all matchers.  Implementations must accept any even
+/// n >= 2 within their documented limits and be deterministic.
+class Matcher {
+public:
+    virtual ~Matcher() = default;
+    /// Finds the minimum-total-weight perfect matching.
+    virtual MatchingResult min_weight_perfect(const WeightMatrix& w) const = 0;
+    /// Finds the maximum-total-weight perfect matching.
+    virtual MatchingResult max_weight_perfect(const WeightMatrix& w) const = 0;
+};
+
+/// Exhaustive enumeration over all (n-1)!! perfect matchings.  Reference
+/// implementation for tests; practical to n ~ 12.
+class BruteForceMatcher final : public Matcher {
+public:
+    MatchingResult min_weight_perfect(const WeightMatrix& w) const override;
+    MatchingResult max_weight_perfect(const WeightMatrix& w) const override;
+};
+
+/// Exact subset dynamic program over vertex bitmasks; O(2^n * n), n <= 24.
+/// This is also the solver SYNPA uses at runtime for small thread counts.
+class SubsetDpMatcher final : public Matcher {
+public:
+    MatchingResult min_weight_perfect(const WeightMatrix& w) const override;
+    MatchingResult max_weight_perfect(const WeightMatrix& w) const override;
+};
+
+/// Edmonds' Blossom algorithm (primal-dual, dense O(n^3)); the general
+/// solver the paper cites.  Weights are scaled to integers internally
+/// (53-bit budget), which is exact for the slowdown magnitudes involved.
+class BlossomMatcher final : public Matcher {
+public:
+    MatchingResult min_weight_perfect(const WeightMatrix& w) const override;
+    MatchingResult max_weight_perfect(const WeightMatrix& w) const override;
+};
+
+/// Recomputes the total weight of `pairs` under `w` (test/report helper).
+double matching_weight(const WeightMatrix& w, const std::vector<std::pair<int, int>>& pairs);
+
+/// Hysteresis-aware pair selection for quantum-driven schedulers.
+///
+/// Prediction noise makes many matchings near-ties, and oscillating between
+/// equivalent solutions costs real migrations.  This helper (a) discounts
+/// the currently-running pairs by `stability_bias` of the weight span so
+/// ties resolve toward staying put, and (b) keeps the current allocation
+/// outright unless the re-solved matching improves the *true* total weight
+/// by more than `keep_threshold` (relative).
+struct StabilizedSelection {
+    std::vector<std::pair<int, int>> pairs;
+    bool kept_current = false;
+    double current_weight = 0.0;  ///< true weight of the incumbent pairing
+    double selected_weight = 0.0; ///< true weight of the returned pairing
+};
+
+StabilizedSelection stabilized_min_weight(const WeightMatrix& weights,
+                                          const std::vector<std::pair<int, int>>& current,
+                                          const Matcher& matcher,
+                                          double stability_bias = 0.002,
+                                          double keep_threshold = 0.001);
+
+}  // namespace synpa::matching

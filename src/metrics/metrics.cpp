@@ -1,0 +1,82 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace synpa::metrics {
+
+WorkloadMetrics compute_metrics(const sched::RunResult& run) {
+    WorkloadMetrics m;
+    m.turnaround_quanta = run.turnaround_quanta;
+
+    std::vector<double> speedups, ipcs, inverse;
+    for (const sched::TaskOutcome& out : run.outcomes) {
+        speedups.push_back(out.individual_speedup);
+        ipcs.push_back(out.ipc_smt);
+        if (out.individual_speedup > 0.0) inverse.push_back(1.0 / out.individual_speedup);
+    }
+    m.individual_speedups = speedups;
+    if (!speedups.empty()) {
+        const double mu = common::mean(speedups);
+        const double sigma = common::stddev(speedups);
+        m.fairness = mu > 0.0 ? 1.0 - sigma / mu : 0.0;
+    }
+    m.ipc_geomean = common::geomean(ipcs);
+    m.antt = inverse.empty() ? 0.0 : common::mean(inverse);
+    return m;
+}
+
+double turnaround_speedup(const WorkloadMetrics& baseline, const WorkloadMetrics& optimized) {
+    return optimized.turnaround_quanta > 0.0
+               ? baseline.turnaround_quanta / optimized.turnaround_quanta
+               : 0.0;
+}
+
+double ipc_speedup(const WorkloadMetrics& baseline, const WorkloadMetrics& optimized) {
+    return baseline.ipc_geomean > 0.0 ? optimized.ipc_geomean / baseline.ipc_geomean : 0.0;
+}
+
+PairBehaviorStats pair_behavior_stats(const sched::RunResult& run,
+                                      const std::vector<workloads::Group>& slot_groups) {
+    const int n = static_cast<int>(run.traces.size());
+    PairBehaviorStats stats;
+    stats.slots = n;
+    stats.fe_share.assign(static_cast<std::size_t>(n),
+                          std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    stats.be_share = stats.fe_share;
+    stats.diff_group_pct.assign(static_cast<std::size_t>(n), 0.0);
+
+    for (int x = 0; x < n; ++x) {
+        const auto& trace = run.traces[static_cast<std::size_t>(x)];
+        if (trace.empty()) continue;
+        double cross = 0.0, total = 0.0;
+        for (const sched::QuantumTrace& t : trace) {
+            if (t.corunner_slot < 0 || t.corunner_slot >= n) continue;
+            auto& share = t.frontend_dominant ? stats.fe_share : stats.be_share;
+            share[static_cast<std::size_t>(x)][static_cast<std::size_t>(t.corunner_slot)] +=
+                1.0;
+            total += 1.0;
+            const workloads::Group partner =
+                slot_groups[static_cast<std::size_t>(t.corunner_slot)];
+            // Synergistic: frontend behaviour next to a backend-bound
+            // partner, or backend behaviour next to a frontend-bound one.
+            if ((t.frontend_dominant && partner == workloads::Group::kBackendBound) ||
+                (!t.frontend_dominant && partner == workloads::Group::kFrontendBound))
+                cross += 1.0;
+        }
+        if (total > 0.0) {
+            for (int y = 0; y < n; ++y) {
+                stats.fe_share[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] *=
+                    100.0 / total;
+                stats.be_share[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] *=
+                    100.0 / total;
+            }
+            stats.diff_group_pct[static_cast<std::size_t>(x)] = 100.0 * cross / total;
+        }
+    }
+    return stats;
+}
+
+}  // namespace synpa::metrics

@@ -1,0 +1,49 @@
+// Evaluation metrics (paper §VI): turnaround time, fairness, IPC geomean,
+// plus the pair-selection statistics behind Table V.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/thread_manager.hpp"
+#include "workloads/groups.hpp"
+
+namespace synpa::metrics {
+
+struct WorkloadMetrics {
+    double turnaround_quanta = 0.0;  ///< time of the slowest original task
+    double fairness = 0.0;           ///< 1 - sigma(IS) / mu(IS)   [24]
+    double ipc_geomean = 0.0;        ///< geomean of per-app SMT IPCs
+    double antt = 0.0;               ///< average normalized turnaround (1/IS mean)
+    std::vector<double> individual_speedups;  ///< per slot, IPC_smt / IPC_st
+};
+
+/// Derives all metrics from one completed run.
+WorkloadMetrics compute_metrics(const sched::RunResult& run);
+
+/// TT speedup of `optimized` over `baseline` (>1 = optimized is faster).
+double turnaround_speedup(const WorkloadMetrics& baseline, const WorkloadMetrics& optimized);
+
+/// IPC speedup of `optimized` over `baseline`.
+double ipc_speedup(const WorkloadMetrics& baseline, const WorkloadMetrics& optimized);
+
+/// Table V statistics: how often slot X ran with slot Y, split by whether X
+/// behaved frontend- or backend-dominant that quantum, and the fraction of
+/// time X was paired with a partner from the *other* static group
+/// ("diff. group" column — the synergistic-pair rate).
+struct PairBehaviorStats {
+    int slots = 0;
+    /// fe_share[x][y] = % of x's quanta where x was frontend-dominant while
+    /// paired with y; be_share[x][y] analogous for backend-dominant.
+    std::vector<std::vector<double>> fe_share;
+    std::vector<std::vector<double>> be_share;
+    /// % of quanta in which the pairing was cross-group (frontend-behaving
+    /// task with a backend-bound partner, or vice versa).
+    std::vector<double> diff_group_pct;
+};
+
+/// `slot_groups` gives each workload slot's static Table III group.
+PairBehaviorStats pair_behavior_stats(const sched::RunResult& run,
+                                      const std::vector<workloads::Group>& slot_groups);
+
+}  // namespace synpa::metrics

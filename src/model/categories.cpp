@@ -1,0 +1,52 @@
+#include "model/categories.hpp"
+
+#include <algorithm>
+
+namespace synpa::model {
+
+std::array<double, kCategoryCount> CategoryBreakdown::fractions() const noexcept {
+    std::array<double, kCategoryCount> f{};
+    if (cycles == 0) return f;
+    const double c = static_cast<double>(cycles);
+    for (std::size_t i = 0; i < kCategoryCount; ++i) f[i] = categories[i] / c;
+    return f;
+}
+
+double CategoryBreakdown::ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+CategoryBreakdown characterize(const pmu::CounterBank& delta, int dispatch_width) {
+    CategoryBreakdown b;
+    b.cycles = delta.value(pmu::Event::kCpuCycles);
+    b.instructions = delta.value(pmu::Event::kInstSpec);
+    if (b.cycles == 0) return b;
+
+    const auto cycles = static_cast<double>(b.cycles);
+    b.frontend_stalls_measured =
+        std::min(cycles, static_cast<double>(delta.value(pmu::Event::kStallFrontend)));
+    b.backend_stalls_measured =
+        std::min(cycles - b.frontend_stalls_measured,
+                 static_cast<double>(delta.value(pmu::Event::kStallBackend)));
+
+    // Step 1: whatever is not a counted stall is a dispatch cycle.
+    b.dispatch_cycles =
+        std::max(0.0, cycles - b.frontend_stalls_measured - b.backend_stalls_measured);
+
+    // Step 2: cycles the instructions would need at full dispatch width.
+    b.full_dispatch_cycles =
+        static_cast<double>(b.instructions) / static_cast<double>(dispatch_width);
+    b.full_dispatch_cycles = std::min(b.full_dispatch_cycles, b.dispatch_cycles);
+    b.revealed_stalls = b.dispatch_cycles - b.full_dispatch_cycles;
+
+    // Step 3: horizontal waste belongs to the backend.
+    b.categories[static_cast<std::size_t>(Category::kFullDispatch)] = b.full_dispatch_cycles;
+    b.categories[static_cast<std::size_t>(Category::kFrontendStall)] =
+        b.frontend_stalls_measured;
+    b.categories[static_cast<std::size_t>(Category::kBackendStall)] =
+        b.backend_stalls_measured + b.revealed_stalls;
+    return b;
+}
+
+}  // namespace synpa::model

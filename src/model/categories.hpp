@@ -1,0 +1,60 @@
+// Three-category dispatch-stage characterization (paper §III-B, Figure 2).
+//
+// From the four Table-I counters gathered over a window:
+//   Step 1: split cycles into frontend stalls (FE), backend stalls (BE) and
+//           dispatch cycles Dc = cycles - FE - BE.
+//   Step 2: compute equivalent full-dispatch cycles F-Dc = INST_SPEC / W;
+//           the surplus Reveals = Dc - F-Dc is horizontal waste hidden from
+//           the stall counters (cycles that dispatched fewer than W ops).
+//   Step 3: attribute Reveals to the backend (frontend events waste whole
+//           cycles, which STALL_FRONTEND already counts), leaving exactly
+//           three categories that sum to the window's cycles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "pmu/counters.hpp"
+
+namespace synpa::model {
+
+/// Index order for the three categories everywhere in this library.
+enum class Category : std::size_t {
+    kFullDispatch = 0,
+    kFrontendStall = 1,
+    kBackendStall = 2,
+};
+inline constexpr std::size_t kCategoryCount = 3;
+
+inline constexpr std::array<const char*, kCategoryCount> kCategoryNames = {
+    "Full-dispatch cycles", "Frontend stalls", "Backend stalls"};
+
+/// Cycle accounting for one measurement window.
+struct CategoryBreakdown {
+    std::uint64_t cycles = 0;        ///< CPU_CYCLES in the window
+    std::uint64_t instructions = 0;  ///< INST_SPEC in the window
+
+    // Step 1 raw values.
+    double frontend_stalls_measured = 0.0;  ///< STALL_FRONTEND
+    double backend_stalls_measured = 0.0;   ///< STALL_BACKEND
+    double dispatch_cycles = 0.0;           ///< cycles - FE - BE
+
+    // Step 2.
+    double full_dispatch_cycles = 0.0;  ///< INST_SPEC / dispatch width
+    double revealed_stalls = 0.0;       ///< Dc - F-Dc (horizontal waste)
+
+    // Step 3 final categories (cycle counts; sum == cycles).
+    std::array<double, kCategoryCount> categories{};
+
+    /// Categories divided by window cycles: per-cycle probabilities of each
+    /// category event; the components sum to 1.
+    std::array<double, kCategoryCount> fractions() const noexcept;
+
+    /// Instructions per cycle over the window.
+    double ipc() const noexcept;
+};
+
+/// Runs the three characterization steps on a counter delta.
+CategoryBreakdown characterize(const pmu::CounterBank& delta, int dispatch_width);
+
+}  // namespace synpa::model

@@ -1,0 +1,127 @@
+#include "model/inversion.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace synpa::model {
+namespace {
+
+/// Clamps to [0, 1.5] and renormalizes to the unit simplex.
+void project_to_simplex(CategoryVector& v) noexcept {
+    double sum = 0.0;
+    for (double& x : v) {
+        x = std::clamp(x, 0.0, 1.5);
+        sum += x;
+    }
+    if (sum <= 1e-9) {
+        v = {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+        return;
+    }
+    for (double& x : v) x /= sum;
+}
+
+double implied_slowdown(const InterferenceModel& m, const CategoryVector& a,
+                        const CategoryVector& b) noexcept {
+    return std::clamp(m.predict_slowdown(a, b), 1.0, 4.0);
+}
+
+/// The inversion residual system (6 unknowns: st_i then st_j).
+///
+/// With S_i = sum_C model_C(st_i, st_j), consistency demands
+/// model_C(st_i, st_j) = S_i * f_i[C]; two of those three equations are
+/// independent (they sum to an identity), and the simplex constraint closes
+/// the system — and symmetrically for j.
+std::array<double, 6> residual(const InterferenceModel& m, const std::array<double, 6>& x,
+                               const CategoryVector& fi, const CategoryVector& fj) noexcept {
+    const CategoryVector si = {x[0], x[1], x[2]};
+    const CategoryVector sj = {x[3], x[4], x[5]};
+    const CategoryVector pi = m.predict(si, sj);
+    const CategoryVector pj = m.predict(sj, si);
+    const double total_i = pi[0] + pi[1] + pi[2];
+    const double total_j = pj[0] + pj[1] + pj[2];
+    return {pi[0] - fi[0] * total_i,
+            pi[1] - fi[1] * total_i,
+            x[0] + x[1] + x[2] - 1.0,
+            pj[0] - fj[0] * total_j,
+            pj[1] - fj[1] * total_j,
+            x[3] + x[4] + x[5] - 1.0};
+}
+
+double max_abs(const std::array<double, 6>& v) noexcept {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
+}  // namespace
+
+InversionResult ModelInverter::invert(const CategoryVector& smt_i,
+                                      const CategoryVector& smt_j) const {
+    CategoryVector fi = smt_i;
+    CategoryVector fj = smt_j;
+    project_to_simplex(fi);
+    project_to_simplex(fj);
+
+    // Damped Newton on the joint residual system, with a finite-difference
+    // Jacobian (the system is tiny; robustness beats analytic elegance).
+    std::array<double, 6> x = {fi[0], fi[1], fi[2], fj[0], fj[1], fj[2]};
+    InversionResult r;
+    bool solved = false;
+    for (int it = 0; it < opts_.max_iterations; ++it) {
+        const std::array<double, 6> f = residual(*model_, x, fi, fj);
+        r.iterations = it;
+        if (max_abs(f) < opts_.tolerance) {
+            solved = true;
+            break;
+        }
+
+        linalg::Matrix jac(6, 6);
+        const double h = 1e-7;
+        for (std::size_t col = 0; col < 6; ++col) {
+            std::array<double, 6> xh = x;
+            xh[col] += h;
+            const std::array<double, 6> fh = residual(*model_, xh, fi, fj);
+            for (std::size_t row = 0; row < 6; ++row)
+                jac(row, col) = (fh[row] - f[row]) / h;
+        }
+
+        std::vector<double> rhs(6);
+        for (std::size_t k = 0; k < 6; ++k) rhs[k] = -f[k];
+        std::vector<double> step;
+        try {
+            step = linalg::solve_gaussian(jac, rhs);
+        } catch (const std::runtime_error&) {
+            break;  // singular Jacobian: give up, fall back below
+        }
+
+        // Trust region: cap the step and damp toward the current iterate.
+        double norm = 0.0;
+        for (double s : step) norm = std::max(norm, std::abs(s));
+        const double scale = norm > 0.5 ? 0.5 / norm : 1.0;
+        for (std::size_t k = 0; k < 6; ++k)
+            x[k] = std::clamp(x[k] + opts_.damping * scale * step[k], 0.0, 1.5);
+    }
+
+    if (solved) {
+        r.st_i = {x[0], x[1], x[2]};
+        r.st_j = {x[3], x[4], x[5]};
+        project_to_simplex(r.st_i);
+        project_to_simplex(r.st_j);
+        r.converged = true;
+    } else {
+        // Graceful fallback: the raw SMT fractions are a usable if biased
+        // stand-in for the isolated fractions.
+        r.st_i = fi;
+        r.st_j = fj;
+        r.converged = false;
+    }
+    r.slowdown_i = implied_slowdown(*model_, r.st_i, r.st_j);
+    r.slowdown_j = implied_slowdown(*model_, r.st_j, r.st_i);
+    return r;
+}
+
+}  // namespace synpa::model

@@ -1,0 +1,57 @@
+// Model inversion (paper §IV-B Step 1, leveraging Feliu et al. [4]).
+//
+// At runtime only SMT counters exist: for the pair (i, j) sharing a core we
+// observe each task's per-cycle category *fractions* f_i, f_j (each sums to
+// 1 over its own SMT cycles).  The forward model, however, consumes
+// *isolated* fractions.  Inversion recovers them:
+//
+// Unknowns: isolated fractions st_i, st_j (sum to 1 each) and slowdowns
+// s_i, s_j.  The model ties them together: for every category C,
+//     model_C(st_i, st_j) = s_i * f_i[C]        (and symmetrically for j)
+// because the SMT category value per isolated cycle equals the SMT fraction
+// scaled by the slowdown.  Summing over C gives s = sum_C model_C.
+//
+// We solve this by damped fixed point: given current slowdown estimates,
+// each category yields a 2x2 (mildly nonlinear, rho term) system in
+// (st_i[C], st_j[C]) solved in closed form / Newton; estimates are clamped
+// to the simplex and the slowdowns re-derived, iterating to convergence.
+#pragma once
+
+#include "model/interference_model.hpp"
+
+namespace synpa::model {
+
+struct InversionResult {
+    CategoryVector st_i{};  ///< estimated isolated fractions of task i
+    CategoryVector st_j{};
+    double slowdown_i = 1.0;  ///< implied slowdowns at the solution
+    double slowdown_j = 1.0;
+    bool converged = false;
+    int iterations = 0;
+};
+
+class ModelInverter {
+public:
+    struct Options {
+        int max_iterations = 60;
+        double tolerance = 1e-7;
+        double damping = 0.7;  ///< new = damping*solved + (1-damping)*old
+    };
+
+    explicit ModelInverter(const InterferenceModel& model)
+        : ModelInverter(model, Options()) {}
+    ModelInverter(const InterferenceModel& model, Options opts)
+        : model_(&model), opts_(opts) {}
+
+    /// Inverts the model for one co-running pair.  `smt_i` / `smt_j` are the
+    /// observed per-cycle SMT fractions (each summing to ~1).  On
+    /// non-convergence the raw SMT fractions are returned as the estimate
+    /// (graceful degradation, flagged via `converged == false`).
+    InversionResult invert(const CategoryVector& smt_i, const CategoryVector& smt_j) const;
+
+private:
+    const InterferenceModel* model_;
+    Options opts_;
+};
+
+}  // namespace synpa::model

@@ -1,0 +1,280 @@
+#include "model/trainer.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "apps/instance.hpp"
+#include "apps/spec_suite.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/least_squares.hpp"
+#include "uarch/chip.hpp"
+
+namespace synpa::model {
+namespace {
+
+/// Characterizes the counter delta of one task over the last quantum.
+CategoryBreakdown quantum_breakdown(const pmu::CounterBank& now, const pmu::CounterBank& prev,
+                                    int dispatch_width) {
+    return characterize(now.delta_since(prev), dispatch_width);
+}
+
+}  // namespace
+
+IsolatedProfile::IsolatedProfile(std::string app_name, std::vector<Quantum> quanta)
+    : app_name_(std::move(app_name)), quanta_(std::move(quanta)) {
+    if (quanta_.empty()) throw std::invalid_argument("IsolatedProfile: no quanta");
+}
+
+std::uint64_t IsolatedProfile::total_instructions() const noexcept {
+    return quanta_.back().insts_end;
+}
+
+std::uint64_t IsolatedProfile::total_cycles() const noexcept {
+    return quanta_.back().cycles_end;
+}
+
+double IsolatedProfile::ipc() const noexcept {
+    const auto cycles = total_cycles();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(total_instructions()) /
+                             static_cast<double>(cycles);
+}
+
+std::array<double, kCategoryCount> IsolatedProfile::overall_fractions() const noexcept {
+    std::array<double, kCategoryCount> sum{};
+    for (const Quantum& q : quanta_)
+        for (std::size_t c = 0; c < kCategoryCount; ++c) sum[c] += q.categories[c];
+    const double cycles = static_cast<double>(total_cycles());
+    if (cycles > 0)
+        for (double& x : sum) x /= cycles;
+    return sum;
+}
+
+bool IsolatedProfile::covers(std::uint64_t begin, std::uint64_t end) const noexcept {
+    return begin < end && end <= total_instructions();
+}
+
+double IsolatedProfile::cumulative_cycles_at(std::uint64_t insts) const {
+    // Piecewise-linear interpolation over quantum boundaries.
+    std::uint64_t prev_insts = 0;
+    double prev_cycles = 0.0;
+    for (const Quantum& q : quanta_) {
+        if (insts <= q.insts_end) {
+            const double span = static_cast<double>(q.insts_end - prev_insts);
+            const double frac =
+                span <= 0.0 ? 1.0 : static_cast<double>(insts - prev_insts) / span;
+            return prev_cycles + frac * (static_cast<double>(q.cycles_end) - prev_cycles);
+        }
+        prev_insts = q.insts_end;
+        prev_cycles = static_cast<double>(q.cycles_end);
+    }
+    return static_cast<double>(total_cycles());
+}
+
+std::array<double, kCategoryCount> IsolatedProfile::cumulative_categories_at(
+    std::uint64_t insts) const {
+    std::array<double, kCategoryCount> acc{};
+    std::uint64_t prev_insts = 0;
+    for (const Quantum& q : quanta_) {
+        if (insts <= q.insts_end) {
+            const double span = static_cast<double>(q.insts_end - prev_insts);
+            const double frac =
+                span <= 0.0 ? 1.0 : static_cast<double>(insts - prev_insts) / span;
+            for (std::size_t c = 0; c < kCategoryCount; ++c)
+                acc[c] += frac * q.categories[c];
+            return acc;
+        }
+        for (std::size_t c = 0; c < kCategoryCount; ++c) acc[c] += q.categories[c];
+        prev_insts = q.insts_end;
+    }
+    return acc;
+}
+
+double IsolatedProfile::cycles_for(std::uint64_t begin, std::uint64_t end) const {
+    if (!covers(begin, end)) throw std::out_of_range("IsolatedProfile::cycles_for: range");
+    return cumulative_cycles_at(end) - cumulative_cycles_at(begin);
+}
+
+std::array<double, kCategoryCount> IsolatedProfile::categories_for(std::uint64_t begin,
+                                                                   std::uint64_t end) const {
+    if (!covers(begin, end))
+        throw std::out_of_range("IsolatedProfile::categories_for: range");
+    auto hi = cumulative_categories_at(end);
+    const auto lo = cumulative_categories_at(begin);
+    for (std::size_t c = 0; c < kCategoryCount; ++c) hi[c] -= lo[c];
+    return hi;
+}
+
+IsolatedProfile profile_isolated(const apps::AppProfile& app, const uarch::SimConfig& cfg,
+                                 std::uint64_t quanta, std::uint64_t seed) {
+    uarch::SimConfig solo = cfg;
+    solo.cores = 1;  // an isolated run needs one core; keeps profiling fast
+    uarch::Chip chip(solo);
+    apps::AppInstance task(/*id=*/1, app, seed);
+    chip.bind(task, {.core = 0, .slot = 0});
+
+    std::vector<IsolatedProfile::Quantum> samples;
+    samples.reserve(quanta);
+    pmu::CounterBank prev;
+    for (std::uint64_t q = 0; q < quanta; ++q) {
+        chip.run_quantum();
+        const pmu::CounterBank& now = task.counters();
+        const CategoryBreakdown b = quantum_breakdown(now, prev, solo.dispatch_width);
+        prev = now;
+        samples.push_back({.insts_end = task.insts_retired(),
+                           .cycles_end = now.value(pmu::Event::kCpuCycles),
+                           .categories = b.categories});
+    }
+    return IsolatedProfile(app.name, std::move(samples));
+}
+
+std::vector<TrainingSample> Trainer::collect_pair_samples(const apps::AppProfile& a,
+                                                          const apps::AppProfile& b,
+                                                          const IsolatedProfile& prof_a,
+                                                          const IsolatedProfile& prof_b,
+                                                          std::uint64_t seed_a,
+                                                          std::uint64_t seed_b) const {
+    uarch::SimConfig pair_cfg = cfg_;
+    pair_cfg.cores = 1;
+    uarch::Chip chip(pair_cfg);
+    // The instances use the same seeds as the profiling runs so their event
+    // streams match the isolated reference (same work, different timing).
+    apps::AppInstance ta(/*id=*/1, a, seed_a);
+    apps::AppInstance tb(/*id=*/2, b, seed_b);
+    chip.bind(ta, {.core = 0, .slot = 0});
+    chip.bind(tb, {.core = 0, .slot = 1});
+
+    std::vector<TrainingSample> out;
+    pmu::CounterBank prev_a, prev_b;
+    std::uint64_t insts_a = 0, insts_b = 0;
+    for (std::uint64_t q = 0; q < opts_.pair_quanta; ++q) {
+        chip.run_quantum();
+        const pmu::CounterBank now_a = ta.counters();
+        const pmu::CounterBank now_b = tb.counters();
+        const CategoryBreakdown ba = quantum_breakdown(now_a, prev_a, cfg_.dispatch_width);
+        const CategoryBreakdown bb = quantum_breakdown(now_b, prev_b, cfg_.dispatch_width);
+        prev_a = now_a;
+        prev_b = now_b;
+        const std::uint64_t a0 = insts_a, b0 = insts_b;
+        insts_a = ta.insts_retired();
+        insts_b = tb.insts_retired();
+        if (q < opts_.warmup_quanta) continue;
+        if (!prof_a.covers(a0, insts_a) || !prof_b.covers(b0, insts_b)) continue;
+
+        const double st_cycles_a = prof_a.cycles_for(a0, insts_a);
+        const double st_cycles_b = prof_b.cycles_for(b0, insts_b);
+        if (st_cycles_a <= 0.0 || st_cycles_b <= 0.0) continue;
+
+        auto st_frac = [](std::array<double, kCategoryCount> cats, double cycles) {
+            for (double& x : cats) x /= cycles;
+            return cats;
+        };
+        const CategoryVector st_a = st_frac(prof_a.categories_for(a0, insts_a), st_cycles_a);
+        const CategoryVector st_b = st_frac(prof_b.categories_for(b0, insts_b), st_cycles_b);
+
+        // SMT categories per isolated cycle of the same work: the three
+        // values sum to the quantum slowdown of that task.
+        CategoryVector smt_a{}, smt_b{};
+        for (std::size_t c = 0; c < kCategoryCount; ++c) {
+            smt_a[c] = ba.categories[c] / st_cycles_a;
+            smt_b[c] = bb.categories[c] / st_cycles_b;
+        }
+        out.push_back({.st_self = st_a, .st_corunner = st_b, .smt_per_st = smt_a});
+        out.push_back({.st_self = st_b, .st_corunner = st_a, .smt_per_st = smt_b});
+    }
+    return out;
+}
+
+TrainingResult Trainer::fit(std::vector<TrainingSample> samples, const TrainerOptions& opts) {
+    if (samples.size() < 8) throw std::runtime_error("Trainer::fit: too few samples");
+
+    // Random subset, as in the paper ("a random subset of the execution
+    // quanta was selected to build the model").
+    if (opts.sample_fraction < 1.0) {
+        common::Rng rng(opts.seed, 0xf17);
+        std::vector<TrainingSample> kept;
+        kept.reserve(samples.size());
+        for (const TrainingSample& s : samples)
+            if (rng.chance(opts.sample_fraction)) kept.push_back(s);
+        if (kept.size() >= 8) samples = std::move(kept);
+    }
+
+    TrainingResult result;
+    result.sample_count = samples.size();
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+        linalg::Matrix design(samples.size(), 4);
+        std::vector<double> target(samples.size());
+        for (std::size_t r = 0; r < samples.size(); ++r) {
+            const TrainingSample& s = samples[r];
+            design(r, 0) = 1.0;
+            design(r, 1) = s.st_self[c];
+            design(r, 2) = s.st_corunner[c];
+            design(r, 3) = s.st_self[c] * s.st_corunner[c];
+            target[r] = s.smt_per_st[c];
+        }
+        linalg::LeastSquaresResult fit;
+        try {
+            fit = linalg::least_squares(design, target);
+        } catch (const std::runtime_error&) {
+            // Near-collinear design (e.g. a category that is almost constant
+            // across the suite): fall back to a lightly regularized fit.
+            fit = linalg::ridge_least_squares(design, target, 1e-6);
+        }
+        CategoryCoefficients k{.alpha = fit.coefficients[0],
+                               .beta = fit.coefficients[1],
+                               .gamma = fit.coefficients[2],
+                               .rho = fit.coefficients[3]};
+        result.model.coefficients(static_cast<Category>(c)) = k;
+        result.mse[c] = fit.mse;
+        result.r_squared[c] = fit.r_squared;
+    }
+    return result;
+}
+
+TrainingResult Trainer::train(std::span<const std::string> app_names) const {
+    std::vector<const apps::AppProfile*> train_apps;
+    train_apps.reserve(app_names.size());
+    for (const std::string& name : app_names) train_apps.push_back(&apps::find_app(name));
+
+    // Phase 1: isolated profiles (parallel across applications).
+    std::vector<IsolatedProfile> profiles(train_apps.size());
+    common::parallel_for(
+        train_apps.size(),
+        [&](std::size_t i) {
+            profiles[i] = profile_isolated(*train_apps[i], cfg_, opts_.isolated_quanta,
+                                           common::derive_key(opts_.seed, 0x150, i));
+        },
+        opts_.threads);
+
+    // Phase 2: all pairs in SMT (parallel across pairs).
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < train_apps.size(); ++i)
+        for (std::size_t j = i; j < train_apps.size(); ++j) {
+            if (i == j && !opts_.include_self_pairs) continue;
+            pairs.emplace_back(i, j);
+        }
+
+    std::vector<TrainingSample> all_samples;
+    std::mutex mutex;
+    common::parallel_for(
+        pairs.size(),
+        [&](std::size_t p) {
+            const auto [i, j] = pairs[p];
+            auto samples =
+                collect_pair_samples(*train_apps[i], *train_apps[j], profiles[i], profiles[j],
+                                     common::derive_key(opts_.seed, 0x150, i),
+                                     common::derive_key(opts_.seed, 0x150, j));
+            const std::lock_guard lock(mutex);
+            all_samples.insert(all_samples.end(), samples.begin(), samples.end());
+        },
+        opts_.threads);
+
+    TrainingResult result = fit(std::move(all_samples), opts_);
+    result.pair_runs = pairs.size();
+    result.profiles = std::move(profiles);
+    return result;
+}
+
+}  // namespace synpa::model

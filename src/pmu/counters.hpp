@@ -1,0 +1,41 @@
+// Per-hardware-thread performance counter banks.
+//
+// The simulator increments these as it retires cycles/instructions; readers
+// (the thread manager, the trainer) snapshot and difference them exactly as
+// a perf-based prototype would read ARMv8.1 PMU registers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "pmu/events.hpp"
+
+namespace synpa::pmu {
+
+/// Raw counter values for one hardware thread (one per Event).
+class CounterBank {
+public:
+    void increment(Event e, std::uint64_t by = 1) noexcept {
+        values_[event_index(e)] += by;
+    }
+    std::uint64_t value(Event e) const noexcept { return values_[event_index(e)]; }
+    void reset() noexcept { values_.fill(0); }
+
+    /// Difference against a previous snapshot (counter deltas for a quantum).
+    CounterBank delta_since(const CounterBank& earlier) const noexcept {
+        CounterBank d;
+        for (std::size_t i = 0; i < kEventCount; ++i)
+            d.values_[i] = values_[i] - earlier.values_[i];
+        return d;
+    }
+
+    CounterBank& operator+=(const CounterBank& other) noexcept {
+        for (std::size_t i = 0; i < kEventCount; ++i) values_[i] += other.values_[i];
+        return *this;
+    }
+
+private:
+    std::array<std::uint64_t, kEventCount> values_{};
+};
+
+}  // namespace synpa::pmu

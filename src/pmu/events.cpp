@@ -1,0 +1,51 @@
+#include "pmu/events.hpp"
+
+namespace synpa::pmu {
+
+std::string_view event_name(Event e) noexcept {
+    switch (e) {
+        case Event::kCpuCycles: return "cpu_cycles";
+        case Event::kInstSpec: return "inst_spec";
+        case Event::kStallFrontend: return "stall_frontend";
+        case Event::kStallBackend: return "stall_backend";
+        case Event::kInstRetired: return "inst_retired";
+        case Event::kL1iCacheRefill: return "l1i_cache_refill";
+        case Event::kL1dCacheRefill: return "l1d_cache_refill";
+        case Event::kL2dCacheRefill: return "l2d_cache_refill";
+        case Event::kLlcCacheMiss: return "ll_cache_miss_rd";
+        case Event::kBrMisPred: return "br_mis_pred";
+        case Event::kStallBackendRob: return "stall_backend_rob";
+        case Event::kStallBackendIq: return "stall_backend_iq";
+        case Event::kStallBackendLsq: return "stall_backend_lsq";
+        case Event::kStallBackendMem: return "stall_backend_mem";
+        case Event::kCount: break;
+    }
+    return "unknown";
+}
+
+std::string_view event_description(Event e) noexcept {
+    switch (e) {
+        case Event::kCpuCycles: return "Cycles";
+        case Event::kInstSpec: return "Operation (speculatively) executed";
+        case Event::kStallFrontend:
+            return "Cycles on which no operation is dispatched because there is no operation "
+                   "in the queue";
+        case Event::kStallBackend:
+            return "Cycles on which no operation is dispatched due to backend resources being "
+                   "unavailable";
+        case Event::kInstRetired: return "Architecturally executed operations";
+        case Event::kL1iCacheRefill: return "L1 instruction cache refills";
+        case Event::kL1dCacheRefill: return "L1 data cache refills";
+        case Event::kL2dCacheRefill: return "L2 cache refills";
+        case Event::kLlcCacheMiss: return "Last-level cache read misses";
+        case Event::kBrMisPred: return "Mispredicted branches";
+        case Event::kStallBackendRob: return "Dispatch stalled, reorder buffer full";
+        case Event::kStallBackendIq: return "Dispatch stalled, issue queue full";
+        case Event::kStallBackendLsq: return "Dispatch stalled, load/store queue full";
+        case Event::kStallBackendMem: return "Dispatch stalled, memory access pending";
+        case Event::kCount: break;
+    }
+    return "unknown";
+}
+
+}  // namespace synpa::pmu

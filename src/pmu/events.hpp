@@ -1,0 +1,50 @@
+// ARMv8.1 PMU event model (paper Table I).
+//
+// SYNPA needs exactly four architectural events per hardware thread:
+// CPU_CYCLES, INST_SPEC, STALL_FRONTEND and STALL_BACKEND.  The simulator
+// additionally exposes the finer-grained backend/frontend events that the
+// paper's discarded ten-category model used (ROB-full, IQ-full, cache
+// refills, ...), so the ablation in §VI-A can be reproduced.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace synpa::pmu {
+
+/// Hardware event identifiers.  The first four are the events in the
+/// paper's Table I; the remainder mirror common ARMv8.1 PMU extras.
+enum class Event : std::uint8_t {
+    kCpuCycles = 0,      ///< CPU_CYCLES: processor cycles
+    kInstSpec,           ///< INST_SPEC: operations speculatively executed
+    kStallFrontend,      ///< STALL_FRONTEND: no dispatch, dispatch queue empty
+    kStallBackend,       ///< STALL_BACKEND: no dispatch, backend resource busy
+    kInstRetired,        ///< INST_RETIRED: architecturally committed ops
+    kL1iCacheRefill,     ///< L1I_CACHE_REFILL
+    kL1dCacheRefill,     ///< L1D_CACHE_REFILL
+    kL2dCacheRefill,     ///< L2D_CACHE_REFILL
+    kLlcCacheMiss,       ///< LL_CACHE_MISS_RD (approx.)
+    kBrMisPred,          ///< BR_MIS_PRED
+    kStallBackendRob,    ///< implementation-specific: dispatch stall, ROB full
+    kStallBackendIq,     ///< implementation-specific: dispatch stall, IQ full
+    kStallBackendLsq,    ///< implementation-specific: dispatch stall, LSQ full
+    kStallBackendMem,    ///< implementation-specific: dispatch stall, mem pending
+    kCount,              ///< number of events (array sizing)
+};
+
+inline constexpr std::size_t kEventCount = static_cast<std::size_t>(Event::kCount);
+
+/// The four events SYNPA configures (Table I).
+inline constexpr std::array<Event, 4> kSynpaEvents = {
+    Event::kCpuCycles, Event::kInstSpec, Event::kStallFrontend, Event::kStallBackend};
+
+/// Canonical lower-case event name (matches `perf list` style).
+std::string_view event_name(Event e) noexcept;
+
+/// Short human description (paper Table I wording).
+std::string_view event_description(Event e) noexcept;
+
+constexpr std::size_t event_index(Event e) noexcept { return static_cast<std::size_t>(e); }
+
+}  // namespace synpa::pmu

@@ -1,0 +1,38 @@
+#include "pmu/perf_session.hpp"
+
+#include <stdexcept>
+
+namespace synpa::pmu {
+
+PerfSession::PerfSession(const CounterSource& source, std::vector<Event> events)
+    : source_(source), events_(std::move(events)) {}
+
+void PerfSession::attach(int task_id) { snapshots_[task_id] = source_.task_counters(task_id); }
+
+void PerfSession::detach(int task_id) { snapshots_.erase(task_id); }
+
+bool PerfSession::attached(int task_id) const { return snapshots_.contains(task_id); }
+
+CounterBank PerfSession::filter(const CounterBank& bank) const {
+    if (events_.empty()) return bank;
+    CounterBank out;
+    for (Event e : events_) out.increment(e, bank.value(e));
+    return out;
+}
+
+CounterBank PerfSession::read(int task_id) {
+    auto it = snapshots_.find(task_id);
+    if (it == snapshots_.end()) throw std::runtime_error("PerfSession: task not attached");
+    const CounterBank now = source_.task_counters(task_id);
+    const CounterBank delta = now.delta_since(it->second);
+    it->second = now;
+    return filter(delta);
+}
+
+CounterBank PerfSession::peek(int task_id) const {
+    auto it = snapshots_.find(task_id);
+    if (it == snapshots_.end()) throw std::runtime_error("PerfSession: task not attached");
+    return filter(source_.task_counters(task_id).delta_since(it->second));
+}
+
+}  // namespace synpa::pmu

@@ -1,0 +1,55 @@
+// A perf(1)-shaped reading interface over the simulated PMU.
+//
+// The paper's prototype is a user-level manager that uses the perf tool to
+// configure and read counters per application (per task, following the task
+// across migrations), once per quantum.  PerfSession mirrors that shape:
+// attach to task ids, then read per-quantum deltas.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pmu/counters.hpp"
+#include "pmu/events.hpp"
+
+namespace synpa::pmu {
+
+/// Anything that can report cumulative counters for a task (the simulator
+/// chip implements this; tests use a fake).
+class CounterSource {
+public:
+    virtual ~CounterSource() = default;
+    /// Cumulative counters for the given task id (since task start).
+    virtual CounterBank task_counters(int task_id) const = 0;
+};
+
+/// Per-task event reading with snapshot/delta semantics.
+class PerfSession {
+public:
+    /// `events` restricts which events read() exposes; empty = all events.
+    explicit PerfSession(const CounterSource& source, std::vector<Event> events = {});
+
+    /// Starts counting for a task from its current cumulative values.
+    void attach(int task_id);
+    void detach(int task_id);
+    bool attached(int task_id) const;
+
+    /// Returns the counter deltas since the previous read (or attach) and
+    /// advances the snapshot.  Events outside the configured set read 0.
+    CounterBank read(int task_id);
+
+    /// Like read() but does not advance the snapshot.
+    CounterBank peek(int task_id) const;
+
+    const std::vector<Event>& events() const noexcept { return events_; }
+
+private:
+    CounterBank filter(const CounterBank& bank) const;
+
+    const CounterSource& source_;
+    std::vector<Event> events_;
+    std::unordered_map<int, CounterBank> snapshots_;
+};
+
+}  // namespace synpa::pmu

@@ -1,0 +1,165 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace synpa::sched {
+
+PairAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
+                           std::span<const TaskObservation> observations) {
+    std::unordered_map<int, int> core_of;
+    for (const TaskObservation& o : observations) core_of[o.task_id] = o.core;
+    const std::size_t cores = pairs.size();
+
+    PairAllocation alloc(cores, {-1, -1});
+    std::vector<bool> core_used(cores, false);
+    std::vector<std::pair<int, int>> unplaced;
+
+    // First pass: pin each pair to a core one member already occupies.
+    for (const auto& pr : pairs) {
+        int preferred = -1;
+        const auto ita = core_of.find(pr.first);
+        const auto itb = core_of.find(pr.second);
+        if (ita != core_of.end() && ita->second >= 0 &&
+            ita->second < static_cast<int>(cores) &&
+            !core_used[static_cast<std::size_t>(ita->second)])
+            preferred = ita->second;
+        else if (itb != core_of.end() && itb->second >= 0 &&
+                 itb->second < static_cast<int>(cores) &&
+                 !core_used[static_cast<std::size_t>(itb->second)])
+            preferred = itb->second;
+        if (preferred >= 0) {
+            alloc[static_cast<std::size_t>(preferred)] = pr;
+            core_used[static_cast<std::size_t>(preferred)] = true;
+        } else {
+            unplaced.push_back(pr);
+        }
+    }
+    // Second pass: remaining pairs fill remaining cores in order.
+    std::size_t next = 0;
+    for (const auto& pr : unplaced) {
+        while (next < cores && core_used[next]) ++next;
+        alloc[next] = pr;
+        core_used[next] = true;
+    }
+    return alloc;
+}
+
+PairAllocation RandomPolicy::reallocate(std::span<const TaskObservation> observations) {
+    std::vector<int> ids;
+    ids.reserve(observations.size());
+    for (const TaskObservation& o : observations) ids.push_back(o.task_id);
+    // Fisher-Yates with the policy's own deterministic stream.
+    for (std::size_t i = ids.size(); i > 1; --i)
+        std::swap(ids[i - 1], ids[rng_.below(i)]);
+    std::vector<std::pair<int, int>> pairs;
+    for (std::size_t k = 0; k + 1 < ids.size(); k += 2) pairs.emplace_back(ids[k], ids[k + 1]);
+    return place_pairs(pairs, observations);
+}
+
+OraclePolicy::OraclePolicy(model::InterferenceModel model) : model_(model) {}
+
+PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observations) {
+    const std::size_t n = observations.size();
+    // True current-phase isolated fractions (oracle-only information).
+    std::vector<model::CategoryVector> truth(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const apps::AppInstance* inst = observations[i].instance;
+        const auto& cats = inst->profile().phase_categories;
+        if (cats.empty()) {
+            // Uncalibrated suite: fall back to the task's own measured SMT
+            // fractions (still a strong baseline).
+            truth[i] = observations[i].breakdown.fractions();
+        } else {
+            truth[i] = cats[inst->phase_index()];
+        }
+    }
+
+    matching::WeightMatrix w(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v)
+            w.set(u, v, model_.predict_slowdown(truth[u], truth[v]) +
+                            model_.predict_slowdown(truth[v], truth[u]));
+
+    // Current pairing in index space, for the same hysteresis SYNPA uses.
+    std::unordered_map<int, std::size_t> index_of;
+    for (std::size_t i = 0; i < n; ++i) index_of[observations[i].task_id] = i;
+    std::vector<std::pair<int, int>> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int partner = observations[i].corunner_task_id;
+        const auto it = partner >= 0 ? index_of.find(partner) : index_of.end();
+        if (it != index_of.end() && it->second > i)
+            current.emplace_back(static_cast<int>(i), static_cast<int>(it->second));
+    }
+    const matching::StabilizedSelection sel =
+        matching::stabilized_min_weight(w, current, matcher_);
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(sel.pairs.size());
+    for (auto [u, v] : sel.pairs)
+        pairs.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
+                           observations[static_cast<std::size_t>(v)].task_id);
+    return place_pairs(pairs, observations);
+}
+
+}  // namespace synpa::sched
+
+namespace synpa::sched {
+
+SamplingPolicy::SlotPairing SamplingPolicy::random_pairing(std::size_t n) {
+    std::vector<int> slots(n);
+    for (std::size_t i = 0; i < n; ++i) slots[i] = static_cast<int>(i);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(slots[i - 1], slots[rng_.below(i)]);
+    SlotPairing pairing;
+    for (std::size_t k = 0; k + 1 < n; k += 2) pairing.emplace_back(slots[k], slots[k + 1]);
+    return pairing;
+}
+
+PairAllocation SamplingPolicy::reallocate(std::span<const TaskObservation> observations) {
+    const std::size_t n = observations.size();
+
+    // Score the configuration that just ran: aggregate IPC over the quantum
+    // (what a measurement-based scheduler can actually observe).
+    if (!current_.empty()) {
+        double score = 0.0;
+        for (const TaskObservation& o : observations) score += o.breakdown.ipc();
+        if (exploring_ && score > best_score_) {
+            best_score_ = score;
+            best_ = current_;
+        }
+    }
+
+    if (phase_left_ == 0) {
+        if (exploring_ && samples_taken_ >= opts_.explore_quanta && !best_.empty()) {
+            exploring_ = false;  // settle on the best sampled configuration
+            phase_left_ = opts_.exploit_quanta;
+        } else {
+            exploring_ = true;
+            samples_taken_ = 0;
+            best_score_ = -1.0;
+        }
+    }
+
+    if (exploring_) {
+        current_ = random_pairing(n);
+        ++samples_taken_;
+    } else {
+        current_ = best_;
+        --phase_left_;
+    }
+
+    std::vector<std::pair<int, int>> id_pairs;
+    id_pairs.reserve(current_.size());
+    for (auto [a, b] : current_)
+        id_pairs.emplace_back(observations[static_cast<std::size_t>(a)].task_id,
+                              observations[static_cast<std::size_t>(b)].task_id);
+    return place_pairs(id_pairs, observations);
+}
+
+void SamplingPolicy::on_task_replaced(int, int) {
+    // Pairings are kept in slot space, so a relaunch needs no remapping;
+    // the fresh instance simply inherits its predecessor's slot role.
+}
+
+}  // namespace synpa::sched

@@ -1,0 +1,96 @@
+// Baseline allocation policies.
+//
+//  * LinuxPolicy — the paper's comparison point: behaviour-unaware,
+//    arrival-order pairing (task k with task k + N/2), never migrates; a
+//    relaunched application inherits its predecessor's hardware thread.
+//    This matches the CFS behaviour the paper observes ("once allocated, an
+//    application remains in the core until its execution finishes").
+//  * RandomPolicy — re-pairs uniformly at random every quantum; isolates
+//    how much of SYNPA's win is *informed* pairing rather than mere churn.
+//  * OraclePolicy — upper bound: uses the true current-phase isolated
+//    categories of every task (information no real policy has) with the
+//    forward model and exact matching.  Requires calibrated profiles
+//    (workloads::calibrate_suite).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "matching/matching.hpp"
+#include "model/interference_model.hpp"
+#include "sched/policy.hpp"
+
+namespace synpa::sched {
+
+class LinuxPolicy final : public AllocationPolicy {
+public:
+    std::string name() const override { return "linux"; }
+    // Inherits the arrival-order initial allocation and the keep-current
+    // reallocation — exactly the baseline behaviour.
+};
+
+class RandomPolicy final : public AllocationPolicy {
+public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed, 0x7a2d) {}
+    std::string name() const override { return "random"; }
+    PairAllocation reallocate(std::span<const TaskObservation> observations) override;
+
+private:
+    common::Rng rng_;
+};
+
+class OraclePolicy final : public AllocationPolicy {
+public:
+    explicit OraclePolicy(model::InterferenceModel model);
+    std::string name() const override { return "oracle"; }
+    PairAllocation reallocate(std::span<const TaskObservation> observations) override;
+
+private:
+    model::InterferenceModel model_;
+    matching::SubsetDpMatcher matcher_;
+};
+
+/// Sampling-based symbiotic scheduler in the spirit of Snavely & Tullsen
+/// [7] (paper §II): instead of a model, it *measures* — it explores a few
+/// random pairings for one quantum each, scores each configuration by the
+/// aggregate IPC it delivered, then exploits the best one for a longer
+/// window before re-sampling.  The paper's argument against this family is
+/// the sampling overhead: every explored configuration costs a quantum of
+/// potentially bad pairing, and the sample budget explodes with core count.
+class SamplingPolicy final : public AllocationPolicy {
+public:
+    struct Options {
+        int explore_quanta = 6;   ///< sampled configurations per cycle
+        int exploit_quanta = 40;  ///< quanta to run the winner before resampling
+    };
+
+    SamplingPolicy(std::uint64_t seed, Options opts)
+        : rng_(seed, 0x5a31), opts_(opts) {}
+    explicit SamplingPolicy(std::uint64_t seed) : SamplingPolicy(seed, Options()) {}
+
+    std::string name() const override { return "sampling"; }
+    PairAllocation reallocate(std::span<const TaskObservation> observations) override;
+    void on_task_replaced(int old_task_id, int new_task_id) override;
+
+private:
+    /// Pairing canonicalized to slot indices so it survives relaunches.
+    using SlotPairing = std::vector<std::pair<int, int>>;
+    SlotPairing random_pairing(std::size_t n);
+
+    common::Rng rng_;
+    Options opts_;
+    int phase_left_ = 0;          ///< quanta remaining in the current phase
+    bool exploring_ = true;
+    SlotPairing current_;         ///< configuration running this quantum
+    SlotPairing best_;
+    double best_score_ = -1.0;
+    int samples_taken_ = 0;
+};
+
+/// Maps chosen pairs onto cores, keeping each pair on a core one of its
+/// members already occupies whenever possible (minimizes migrations).
+PairAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
+                           std::span<const TaskObservation> observations);
+
+}  // namespace synpa::sched

@@ -1,0 +1,38 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace synpa::sched {
+
+PairAllocation AllocationPolicy::initial_allocation(std::span<const int> task_ids) {
+    if (task_ids.size() % 2 != 0)
+        throw std::invalid_argument("initial_allocation: odd task count");
+    const std::size_t half = task_ids.size() / 2;
+    PairAllocation alloc;
+    alloc.reserve(half);
+    for (std::size_t k = 0; k < half; ++k)
+        alloc.emplace_back(task_ids[k], task_ids[k + half]);
+    return alloc;
+}
+
+PairAllocation AllocationPolicy::reallocate(std::span<const TaskObservation> observations) {
+    return current_allocation(observations);
+}
+
+void AllocationPolicy::on_task_replaced(int, int) {}
+
+PairAllocation current_allocation(std::span<const TaskObservation> observations) {
+    std::map<int, std::pair<int, int>> by_core;
+    for (const TaskObservation& o : observations) {
+        auto [it, inserted] = by_core.try_emplace(o.core, o.task_id, -1);
+        if (!inserted) it->second.second = o.task_id;
+    }
+    PairAllocation alloc;
+    alloc.reserve(by_core.size());
+    for (const auto& [core, pair] : by_core) alloc.push_back(pair);
+    return alloc;
+}
+
+}  // namespace synpa::sched

@@ -1,0 +1,65 @@
+// Thread-to-core allocation policy interface.
+//
+// The experimental manager (paper §V-A) drives execution in quanta: after
+// each quantum it reads every task's counters, characterizes them, and asks
+// the policy for next quantum's pairing.  Policies see exactly what a
+// user-level manager on the ThunderX2 sees — counter deltas and placements —
+// with one exception: TaskObservation carries an instance pointer that only
+// the Oracle baseline is allowed to dereference (it is *not* information a
+// real policy could obtain, and SYNPA never touches it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/instance.hpp"
+#include "model/categories.hpp"
+#include "pmu/counters.hpp"
+
+namespace synpa::sched {
+
+/// What the manager hands the policy about one task after a quantum.
+struct TaskObservation {
+    int task_id = -1;
+    int slot_index = -1;  ///< stable workload position 0..N-1 (paper's (04) etc.)
+    std::string app_name;
+    int core = -1;              ///< core it ran on during the quantum
+    int corunner_task_id = -1;  ///< task sharing the core (-1 when alone)
+    pmu::CounterBank delta;     ///< counter deltas over the quantum
+    model::CategoryBreakdown breakdown;  ///< three-step characterization of delta
+
+    /// Oracle-only escape hatch (see file comment).
+    const apps::AppInstance* instance = nullptr;
+};
+
+/// One pair per core, in core order: allocation[c] = {task_a, task_b}.
+using PairAllocation = std::vector<std::pair<int, int>>;
+
+class AllocationPolicy {
+public:
+    virtual ~AllocationPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Initial placement, before any measurement exists.  `task_ids` is in
+    /// arrival order; the default reproduces the Linux assignment the paper
+    /// observes: task k pairs with task k + N/2 on core k.
+    virtual PairAllocation initial_allocation(std::span<const int> task_ids);
+
+    /// Called after every quantum; returns next quantum's pairing.  The
+    /// default keeps the current placement (observations carry it).
+    virtual PairAllocation reallocate(std::span<const TaskObservation> observations);
+
+    /// A finished task was replaced by a fresh instance of the same
+    /// application in the same hardware slot.
+    virtual void on_task_replaced(int old_task_id, int new_task_id);
+};
+
+/// Reconstructs the current pairing from a set of observations (helper
+/// shared by the keep-current default and several policies).
+PairAllocation current_allocation(std::span<const TaskObservation> observations);
+
+}  // namespace synpa::sched

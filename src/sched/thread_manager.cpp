@@ -1,0 +1,210 @@
+#include "sched/thread_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "apps/spec_suite.hpp"
+#include "common/rng.hpp"
+
+namespace synpa::sched {
+
+ThreadManager::ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
+                             std::span<const TaskSpec> specs, Options opts)
+    : chip_(chip), policy_(policy), opts_(opts) {
+    if (specs.size() != static_cast<std::size_t>(chip_.core_count()) * 2)
+        throw std::invalid_argument("ThreadManager: task count must fill the chip");
+    slots_.reserve(specs.size());
+    for (const TaskSpec& spec : specs) {
+        Slot slot;
+        slot.spec = spec;
+        slot.task = std::make_unique<apps::AppInstance>(next_task_id_++,
+                                                        apps::find_app(spec.app_name),
+                                                        spec.seed);
+        slots_.push_back(std::move(slot));
+    }
+}
+
+void ThreadManager::apply_allocation(const PairAllocation& alloc) {
+    if (alloc.size() != static_cast<std::size_t>(chip_.core_count()))
+        throw std::runtime_error("ThreadManager: allocation does not cover every core");
+
+    // Validate the allocation is a permutation of the live tasks.
+    std::unordered_map<int, uarch::CpuSlot> target;
+    for (std::size_t c = 0; c < alloc.size(); ++c) {
+        const auto [a, b] = alloc[c];
+        if (a == b || a < 0 || b < 0)
+            throw std::runtime_error("ThreadManager: malformed pair");
+        target[a] = {.core = static_cast<int>(c), .slot = 0};
+        target[b] = {.core = static_cast<int>(c), .slot = 1};
+    }
+    if (target.size() != slots_.size())
+        throw std::runtime_error("ThreadManager: allocation must place every task once");
+
+    // Count migrations (core changes) before rebinding.
+    for (Slot& s : slots_) {
+        const int id = s.task->id();
+        if (!target.contains(id))
+            throw std::runtime_error("ThreadManager: allocation missing a live task");
+        if (chip_.is_bound(id) && chip_.placement(id).core != target[id].core) ++migrations_;
+    }
+
+    // Rebind: unbind everything, then bind to the new placement.  The chip
+    // only charges a cache-warmup penalty when the core actually changed.
+    for (Slot& s : slots_)
+        if (chip_.is_bound(s.task->id())) chip_.unbind(s.task->id());
+    for (Slot& s : slots_) chip_.bind(*s.task, target[s.task->id()]);
+}
+
+RunResult ThreadManager::run() {
+    RunResult result;
+    result.policy_name = policy_.name();
+    result.traces.resize(slots_.size());
+
+    std::vector<int> ids;
+    ids.reserve(slots_.size());
+    for (const Slot& s : slots_) ids.push_back(s.task->id());
+    apply_allocation(policy_.initial_allocation(ids));
+
+    const auto qcycles = static_cast<double>(chip_.config().cycles_per_quantum);
+    std::uint64_t quantum = 0;
+    std::size_t finished = 0;
+
+    while (finished < slots_.size() && quantum < opts_.max_quanta) {
+        chip_.run_quantum();
+        ++quantum;
+
+        // Observe every slot.  Counter banks are cumulative per instance;
+        // per-slot snapshots give the quantum deltas (PerfSession offers the
+        // same semantics, but the manager keeps its own snapshots so a
+        // relaunch can reset them atomically with the rebind).
+        std::vector<TaskObservation> obs(slots_.size());
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+            Slot& slot = slots_[s];
+            apps::AppInstance& task = *slot.task;
+            TaskObservation& o = obs[s];
+            o.task_id = task.id();
+            o.slot_index = static_cast<int>(s);
+            o.app_name = slot.spec.app_name;
+            const uarch::CpuSlot where = chip_.placement(task.id());
+            o.core = where.core;
+            const auto& sibling = chip_.core(where.core).slot(where.slot ^ 1);
+            o.corunner_task_id = sibling.bound() ? sibling.task()->id() : -1;
+            o.instance = &task;
+            o.delta = task.counters().delta_since(slot.prev_bank);
+            o.breakdown = model::characterize(o.delta, chip_.config().dispatch_width);
+        }
+
+        // Record traces, progress, and finishes.  Relaunches replace task
+        // ids mid-loop, so resolve co-runner slots from the ids captured at
+        // observation time, and remember the remapping to patch the
+        // observations before they reach the policy.
+        std::unordered_map<int, int> slot_by_task;
+        for (const TaskObservation& o : obs) slot_by_task[o.task_id] = o.slot_index;
+        std::unordered_map<int, int> replaced;
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+            Slot& slot = slots_[s];
+            apps::AppInstance& task = *slot.task;
+            const TaskObservation& o = obs[s];
+            const auto fr = o.breakdown.fractions();
+
+            if (opts_.record_traces) {
+                QuantumTrace t;
+                t.quantum = quantum - 1;
+                t.fractions = fr;
+                if (o.corunner_task_id >= 0) {
+                    const auto it = slot_by_task.find(o.corunner_task_id);
+                    t.corunner_slot = it != slot_by_task.end() ? it->second : -1;
+                }
+                t.ipc = o.breakdown.ipc();
+                t.frontend_dominant =
+                    fr[static_cast<std::size_t>(model::Category::kFrontendStall)] >
+                    fr[static_cast<std::size_t>(model::Category::kBackendStall)];
+                result.traces[s].push_back(t);
+            }
+
+            if (!slot.original_finished) {
+                for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+                    slot.category_cycles[c] += o.breakdown.categories[c];
+                slot.cycles_observed += static_cast<double>(o.breakdown.cycles);
+
+                const std::uint64_t insts_prev = slot.insts_at_last_quantum;
+                const std::uint64_t insts_now = task.insts_retired();
+                if (insts_now >= slot.spec.target_insts && slot.spec.target_insts > 0) {
+                    // Interpolate the fractional finish quantum.
+                    const double progressed = static_cast<double>(insts_now - insts_prev);
+                    const double needed =
+                        static_cast<double>(slot.spec.target_insts - insts_prev);
+                    const double frac = progressed > 0.0 ? needed / progressed : 1.0;
+                    TaskOutcome out;
+                    out.app_name = slot.spec.app_name;
+                    out.slot_index = static_cast<int>(s);
+                    out.target_insts = slot.spec.target_insts;
+                    out.finish_quantum = static_cast<double>(quantum - 1) + frac;
+                    out.ipc_smt = static_cast<double>(slot.spec.target_insts) /
+                                  (out.finish_quantum * qcycles);
+                    out.isolated_ipc = slot.spec.isolated_ipc;
+                    out.individual_speedup =
+                        out.isolated_ipc > 0.0 ? out.ipc_smt / out.isolated_ipc : 0.0;
+                    const double total = std::max(slot.cycles_observed, 1.0);
+                    for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+                        out.mean_fractions[c] = slot.category_cycles[c] / total;
+                    slot.outcome = out;
+                    slot.original_finished = true;
+                    ++finished;
+
+                    // Relaunch: a fresh instance of the same application
+                    // takes over the hardware slot to keep the load at 8.
+                    ++slot.relaunches;
+                    const int old_id = task.id();
+                    const uarch::CpuSlot where = chip_.placement(old_id);
+                    chip_.unbind(old_id);
+                    slot.task = std::make_unique<apps::AppInstance>(
+                        next_task_id_++, apps::find_app(slot.spec.app_name),
+                        common::derive_key(slot.spec.seed, 0x1e1a, slot.relaunches));
+                    chip_.bind(*slot.task, where);
+                    policy_.on_task_replaced(old_id, slot.task->id());
+                    replaced[old_id] = slot.task->id();
+                    slot.prev_bank = pmu::CounterBank{};
+                    slot.insts_at_last_quantum = 0;
+                    continue;
+                }
+            }
+
+            slot.prev_bank = task.counters();
+            slot.insts_at_last_quantum = task.insts_retired();
+        }
+
+        if (finished >= slots_.size()) break;
+
+        // Patch observations for replaced tasks: the fresh instance inherits
+        // the slot, so the policy sees live ids (and no dangling pointers).
+        if (!replaced.empty()) {
+            for (TaskObservation& o : obs) {
+                const auto self = replaced.find(o.task_id);
+                if (self != replaced.end()) {
+                    o.task_id = self->second;
+                    o.instance = slots_[static_cast<std::size_t>(o.slot_index)].task.get();
+                }
+                const auto partner = replaced.find(o.corunner_task_id);
+                if (partner != replaced.end()) o.corunner_task_id = partner->second;
+            }
+        }
+        apply_allocation(policy_.reallocate(obs));
+    }
+
+    result.quanta_executed = quantum;
+    result.migrations = migrations_;
+    result.completed = finished >= slots_.size();
+    double tt = 0.0;
+    for (Slot& slot : slots_) {
+        if (slot.outcome) {
+            result.outcomes.push_back(*slot.outcome);
+            tt = std::max(tt, slot.outcome->finish_quantum);
+        }
+    }
+    result.turnaround_quanta = result.completed ? tt : static_cast<double>(quantum);
+    return result;
+}
+
+}  // namespace synpa::sched

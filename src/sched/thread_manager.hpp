@@ -1,0 +1,113 @@
+// The user-level experimental manager (paper §V-A / §V-B).
+//
+// Owns the workload run: creates one task per workload slot, performs the
+// initial allocation, then loops quanta — run, read counters per task,
+// characterize, let the policy re-pair, migrate.  Implements the paper's
+// measurement methodology: each original task carries a target instruction
+// count (from isolated profiling); when it reaches the target its finish
+// time and IPC are recorded and a fresh instance of the same application is
+// launched in its slot so the machine load stays constant; the run ends
+// when the slowest *original* task finishes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/instance.hpp"
+#include "model/categories.hpp"
+#include "sched/policy.hpp"
+#include "uarch/chip.hpp"
+
+namespace synpa::sched {
+
+/// One workload slot: which application, its behaviour seed, and the
+/// instruction target that defines its finish line.
+struct TaskSpec {
+    std::string app_name;
+    std::uint64_t seed = 1;
+    std::uint64_t target_insts = 0;
+    double isolated_ipc = 0.0;  ///< from the target-profiling run (for metrics)
+};
+
+/// Per-quantum trace row for one workload slot (drives Figures 6/7 and
+/// Table V).
+struct QuantumTrace {
+    std::uint64_t quantum = 0;
+    std::array<double, model::kCategoryCount> fractions{};  ///< own characterization
+    int corunner_slot = -1;             ///< workload position of the co-runner
+    double ipc = 0.0;
+    bool frontend_dominant = false;     ///< FE fraction > BE fraction this quantum
+};
+
+/// Final record for one original task.
+struct TaskOutcome {
+    std::string app_name;
+    int slot_index = -1;
+    std::uint64_t target_insts = 0;
+    double finish_quantum = 0.0;  ///< fractional quantum where the target was hit
+    double ipc_smt = 0.0;         ///< target instructions / cycles to finish
+    double isolated_ipc = 0.0;
+    double individual_speedup = 0.0;  ///< ipc_smt / isolated_ipc
+
+    /// Aggregate category fractions over the task's run (Figure 6 bars).
+    std::array<double, model::kCategoryCount> mean_fractions{};
+};
+
+struct RunResult {
+    std::string policy_name;
+    double turnaround_quanta = 0.0;  ///< slowest original task's finish time
+    std::uint64_t quanta_executed = 0;
+    std::uint64_t migrations = 0;  ///< core changes applied across the run
+    std::vector<TaskOutcome> outcomes;              ///< one per workload slot
+    std::vector<std::vector<QuantumTrace>> traces;  ///< per slot, per quantum
+    bool completed = true;  ///< false if the safety quantum cap was hit
+};
+
+class ThreadManager {
+public:
+    struct Options {
+        std::uint64_t max_quanta = 20'000;  ///< safety cap
+        bool record_traces = true;
+    };
+
+    /// The chip must have exactly specs.size() hardware threads free
+    /// (specs.size() == 2 * chip.core_count()).
+    ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
+                  std::span<const TaskSpec> specs)
+        : ThreadManager(chip, policy, specs, Options()) {}
+    ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
+                  std::span<const TaskSpec> specs, Options opts);
+
+    /// Executes the workload to completion; returns the measured result.
+    RunResult run();
+
+private:
+    struct Slot {
+        TaskSpec spec;
+        std::unique_ptr<apps::AppInstance> task;
+        std::uint64_t relaunches = 0;
+        pmu::CounterBank prev_bank;  ///< snapshot at the last quantum boundary
+        std::uint64_t insts_at_last_quantum = 0;
+        bool original_finished = false;
+        std::optional<TaskOutcome> outcome;
+        // Accumulated categories for mean_fractions of the original task.
+        std::array<double, model::kCategoryCount> category_cycles{};
+        double cycles_observed = 0.0;
+    };
+
+    void apply_allocation(const PairAllocation& alloc);
+
+    uarch::Chip& chip_;
+    AllocationPolicy& policy_;
+    Options opts_;
+    std::vector<Slot> slots_;
+    int next_task_id_ = 1;
+    std::uint64_t migrations_ = 0;
+};
+
+}  // namespace synpa::sched

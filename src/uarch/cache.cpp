@@ -1,0 +1,46 @@
+#include "uarch/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace synpa::uarch {
+
+std::vector<double> proportional_shares(double capacity, std::span<const double> footprints) {
+    std::vector<double> shares(footprints.size(), 0.0);
+    double total = 0.0;
+    for (double f : footprints) {
+        if (f < 0.0) throw std::invalid_argument("proportional_shares: negative footprint");
+        total += f;
+    }
+    if (total <= 0.0) {
+        // Nobody wants the cache; give everyone the full capacity.
+        std::fill(shares.begin(), shares.end(), capacity);
+        return shares;
+    }
+    for (std::size_t i = 0; i < footprints.size(); ++i)
+        shares[i] = capacity * footprints[i] / total;
+    return shares;
+}
+
+double coverage(double allocated, double footprint) noexcept {
+    if (footprint <= 0.0) return 1.0;
+    if (allocated <= 0.0) return 1e-3;  // floor keeps multipliers finite
+    return std::min(1.0, allocated / footprint);
+}
+
+double miss_multiplier(double cov, double exponent, double cap) noexcept {
+    cov = std::clamp(cov, 1e-3, 1.0);
+    const double mult = std::pow(cov, -exponent);
+    return std::clamp(mult, 1.0, std::max(1.0, cap));
+}
+
+double shared_cache_miss_multiplier(double capacity, std::span<const double> footprints,
+                                    std::size_t self, double exponent, double cap) {
+    if (self >= footprints.size())
+        throw std::out_of_range("shared_cache_miss_multiplier: bad index");
+    const auto shares = proportional_shares(capacity, footprints);
+    return miss_multiplier(coverage(shares[self], footprints[self]), exponent, cap);
+}
+
+}  // namespace synpa::uarch

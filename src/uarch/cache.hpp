@@ -1,0 +1,34 @@
+// Capacity-sharing cache contention model.
+//
+// Rather than tracking individual cache lines (which would dominate runtime
+// and add nothing SYNPA can observe), shared caches are modelled at the
+// working-set level: each sharer receives a capacity share proportional to
+// its footprint, and its miss ratio scales with how much of its working set
+// fits.  This is the classic "miss rate vs. effective capacity" power-law
+// model and produces the asymmetric, co-runner-dependent interference the
+// paper's regression is designed to capture.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace synpa::uarch {
+
+/// Computes footprint-proportional capacity shares.
+/// Returns, for each footprint, the capacity assigned to that sharer.
+std::vector<double> proportional_shares(double capacity, std::span<const double> footprints);
+
+/// Fraction of a working set that fits in `allocated` capacity (0..1].
+/// A zero footprint is fully covered.
+double coverage(double allocated, double footprint) noexcept;
+
+/// Miss-ratio multiplier for a sharer whose coverage dropped below 1:
+/// multiplier = coverage^-exponent, clamped to [1, cap].
+double miss_multiplier(double cov, double exponent, double cap) noexcept;
+
+/// Convenience: multiplier for one sharer of a cache given every sharer's
+/// footprint.  `self` indexes into `footprints`.
+double shared_cache_miss_multiplier(double capacity, std::span<const double> footprints,
+                                    std::size_t self, double exponent, double cap);
+
+}  // namespace synpa::uarch

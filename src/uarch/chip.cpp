@@ -1,0 +1,181 @@
+#include "uarch/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "uarch/cache.hpp"
+
+namespace synpa::uarch {
+namespace {
+
+/// Miss multiplier relative to isolated execution: profiles encode isolated
+/// rates, so only the *additional* pressure from sharing shows up.
+double relative_miss_multiplier(double capacity, double share, double footprint,
+                                double exponent, double cap) {
+    const double cov_iso = coverage(capacity, footprint);
+    const double cov_shared = coverage(std::min(share, capacity), footprint);
+    const double mult =
+        miss_multiplier(cov_shared, exponent, cap) / miss_multiplier(cov_iso, exponent, cap);
+    return std::clamp(mult, 1.0, cap);
+}
+
+/// Saturating capacity-sharing model for data caches: the *hit* fraction
+/// scales with the coverage ratio, hit_eff = hit_iso * (cov_sh/cov_iso)^k.
+/// The effective exponent k = e * hit_iso places each application on its
+/// miss-ratio curve: a thrashing application (low isolated hit ratio) sits
+/// on the flat tail — LRU keeps protecting its hot lines, so losing
+/// capacity barely moves its misses — while a cache-fitting application
+/// sits on the steep part and loses hits quickly.  This asymmetry is what
+/// makes cache-friendly phases fragile next to memory hogs while two
+/// memory hogs coexist at moderate extra cost.
+double shared_hit_fraction(double hit_iso, double capacity, double share, double footprint,
+                           double exponent) {
+    const double cov_iso = coverage(capacity, footprint);
+    const double cov_shared = coverage(std::min(share, capacity), footprint);
+    const double ratio = std::clamp(cov_shared / std::max(cov_iso, 1e-9), 0.0, 1.0);
+    return hit_iso * std::pow(ratio, exponent * hit_iso);
+}
+
+}  // namespace
+
+Chip::Chip(const SimConfig& cfg) : cfg_(cfg), memory_(cfg_) {
+    cores_.assign(static_cast<std::size_t>(cfg_.cores), SmtCore(cfg_));
+}
+
+void Chip::bind(apps::AppInstance& task, CpuSlot where) {
+    if (where.core < 0 || where.core >= core_count() || where.slot < 0 || where.slot >= 2)
+        throw std::out_of_range("Chip::bind: bad slot");
+    if (placement_.contains(task.id())) throw std::logic_error("Chip::bind: task already bound");
+    ThreadContext& ctx = cores_[static_cast<std::size_t>(where.core)].slot(where.slot);
+    if (ctx.bound()) throw std::logic_error("Chip::bind: slot occupied");
+
+    const auto prev = last_core_.find(task.id());
+    if (prev != last_core_.end() && prev->second != where.core)
+        task.start_warmup(cfg_.warmup_insts, cfg_.warmup_miss_multiplier);
+    last_core_[task.id()] = where.core;
+
+    ctx.bind(&task);
+    tasks_[task.id()] = &task;
+    placement_[task.id()] = where;
+}
+
+void Chip::unbind(int task_id) {
+    const auto it = placement_.find(task_id);
+    if (it == placement_.end()) throw std::logic_error("Chip::unbind: task not bound");
+    cores_[static_cast<std::size_t>(it->second.core)].slot(it->second.slot).unbind();
+    placement_.erase(it);
+    tasks_.erase(task_id);
+}
+
+CpuSlot Chip::placement(int task_id) const {
+    const auto it = placement_.find(task_id);
+    if (it == placement_.end()) throw std::logic_error("Chip::placement: task not bound");
+    return it->second;
+}
+
+std::vector<apps::AppInstance*> Chip::bound_tasks() const {
+    std::vector<apps::AppInstance*> out;
+    out.reserve(tasks_.size());
+    for (const auto& [id, task] : tasks_) out.push_back(task);
+    return out;
+}
+
+pmu::CounterBank Chip::task_counters(int task_id) const {
+    const auto it = tasks_.find(task_id);
+    if (it == tasks_.end()) throw std::logic_error("Chip::task_counters: unknown task");
+    return it->second->counters();
+}
+
+void Chip::refresh_rates() {
+    // Chip-wide LLC shares, proportional to current-phase footprints.
+    std::vector<apps::AppInstance*> all;
+    std::vector<double> llc_fp;
+    for (auto& core : cores_)
+        for (int s = 0; s < 2; ++s)
+            if (core.slot(s).bound()) {
+                all.push_back(core.slot(s).task());
+                llc_fp.push_back(core.slot(s).task()->phase().data_footprint_llc_mb);
+            }
+    const std::vector<double> llc_share = proportional_shares(cfg_.llc_mb, llc_fp);
+    std::unordered_map<int, double> llc_share_by_task;
+    for (std::size_t i = 0; i < all.size(); ++i) llc_share_by_task[all[i]->id()] = llc_share[i];
+
+    const double e = cfg_.cache_pressure_exponent;
+    const double cap = cfg_.cache_miss_mult_cap;
+
+    for (auto& core : cores_) {
+        const bool smt = core.smt_active();
+        for (int s = 0; s < 2; ++s) {
+            ThreadContext& ctx = core.slot(s);
+            if (!ctx.bound()) continue;
+            apps::AppInstance& task = *ctx.task();
+            const apps::PhaseParams& p = task.phase();
+            const apps::PhaseParams* sibling =
+                smt ? &core.slot(s ^ 1).task()->phase() : nullptr;
+            const double warm = task.warmup_multiplier();
+
+            EffectiveRates r;
+            r.dispatch_demand = p.dispatch_demand;
+
+            // Frontend: branch rate is intrinsic; ICache misses grow when the
+            // sibling's code competes for the 32 KB L1I, and when caches are
+            // cold after a migration.
+            const double fe_rate = p.fe_events_per_kinst / 1000.0;
+            r.p_branch = fe_rate * p.fe_branch_fraction;
+            double icache_mult = warm;
+            if (sibling != nullptr) {
+                const double share = cfg_.l1i_kb * p.code_footprint_kb /
+                                     std::max(p.code_footprint_kb + sibling->code_footprint_kb,
+                                              1e-9);
+                icache_mult *= relative_miss_multiplier(cfg_.l1i_kb, share,
+                                                        p.code_footprint_kb, e, cap);
+            }
+            r.p_icache = fe_rate * (1.0 - p.fe_branch_fraction) * icache_mult;
+            r.icache_l2_fraction = p.icache_l2_fraction;
+
+            // Backend: L2 is shared within the core, the LLC chip-wide.
+            // Hit fractions scale with coverage ratios (saturating model).
+            double l2_hit = p.l2_hit_fraction;
+            if (sibling != nullptr) {
+                const double share =
+                    cfg_.l2_kb * p.data_footprint_l2_kb /
+                    std::max(p.data_footprint_l2_kb + sibling->data_footprint_l2_kb, 1e-9);
+                l2_hit = shared_hit_fraction(p.l2_hit_fraction, cfg_.l2_kb, share,
+                                             p.data_footprint_l2_kb, e);
+            }
+            r.l2_hit_eff = l2_hit / std::max(warm, 1.0);
+
+            const double share_mb = llc_share_by_task.at(task.id());
+            r.llc_hit_eff = shared_hit_fraction(p.llc_hit_fraction, cfg_.llc_mb, share_mb,
+                                                p.data_footprint_llc_mb, e);
+
+            // Episodes: MLP batches misses; cold caches after a migration
+            // temporarily raise the event rate (and lower hits, above).
+            const double p_be = p.be_events_per_kinst / 1000.0 * warm;
+            r.batch = std::max(1, static_cast<int>(std::lround(p.mlp)));
+            r.p_episode = p_be / static_cast<double>(r.batch);
+
+            // Latency hiding: the ROB is partitioned between active threads.
+            r.headroom_cycles = static_cast<int>(
+                static_cast<double>(cfg_.rob_share(smt)) / std::max(p.dispatch_demand, 1.0));
+            r.mem_latency_eff =
+                static_cast<int>(std::lround(cfg_.mem_latency * memory_.queue_factor()));
+
+            ctx.rates = r;
+        }
+    }
+}
+
+void Chip::run_quantum() {
+    refresh_rates();
+    std::uint64_t mem_accesses = 0;
+    const std::uint64_t cycles = cfg_.cycles_per_quantum;
+    for (std::uint64_t c = 0; c < cycles; ++c)
+        for (auto& core : cores_) mem_accesses += core.tick();
+    memory_.end_quantum(mem_accesses, cycles);
+    now_ += cycles;
+    ++quanta_;
+}
+
+}  // namespace synpa::uarch

@@ -1,0 +1,87 @@
+// The chip: N SMT2 cores sharing a last-level cache and the DRAM system.
+//
+// The chip owns the quantum loop.  At each quantum boundary it derives every
+// bound thread's EffectiveRates from:
+//   * its current phase parameters (demand, event rates, footprints),
+//   * its sibling's footprints (L1I and L2 are shared within the core),
+//   * every chip task's LLC footprint (the 28 MB LLC is chip-wide),
+//   * last quantum's DRAM utilization (bandwidth queueing), and
+//   * the task's post-migration warmup state.
+// Cache-sharing effects are *relative to isolated execution*: an app's
+// profile rates describe its isolated behaviour, so multipliers are the
+// ratio of shared-coverage to isolated-coverage miss factors.  Running an
+// app alone on the chip reproduces its isolated profile by construction.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/instance.hpp"
+#include "pmu/perf_session.hpp"
+#include "uarch/memory.hpp"
+#include "uarch/sim_config.hpp"
+#include "uarch/smt_core.hpp"
+
+namespace synpa::uarch {
+
+/// Physical placement of a task: core id and SMT slot within the core.
+struct CpuSlot {
+    int core = 0;
+    int slot = 0;
+    friend bool operator==(const CpuSlot&, const CpuSlot&) = default;
+};
+
+class Chip : public pmu::CounterSource {
+public:
+    explicit Chip(const SimConfig& cfg);
+
+    const SimConfig& config() const noexcept { return cfg_; }
+    int core_count() const noexcept { return static_cast<int>(cores_.size()); }
+    const SmtCore& core(int c) const { return cores_.at(static_cast<std::size_t>(c)); }
+
+    /// Binds a task to a hardware thread (the sched_setaffinity analogue).
+    /// Rebinding to a *different core* than the task last ran on starts a
+    /// cold-cache warmup window.  The slot must currently be free.
+    void bind(apps::AppInstance& task, CpuSlot where);
+
+    /// Removes the task from its hardware thread (it keeps architectural
+    /// state and can be bound again later).
+    void unbind(int task_id);
+
+    /// Where a task currently runs; throws if not bound.
+    CpuSlot placement(int task_id) const;
+    bool is_bound(int task_id) const noexcept { return placement_.contains(task_id); }
+
+    /// All currently bound tasks (unspecified order).
+    std::vector<apps::AppInstance*> bound_tasks() const;
+
+    /// Runs one scheduling quantum (config().cycles_per_quantum cycles):
+    /// refreshes contention rates, ticks every core, updates the DRAM model.
+    void run_quantum();
+
+    /// Cycles simulated so far.
+    std::uint64_t now() const noexcept { return now_; }
+    /// Quanta completed so far.
+    std::uint64_t quanta_elapsed() const noexcept { return quanta_; }
+
+    const MemorySystem& memory() const noexcept { return memory_; }
+
+    // pmu::CounterSource: cumulative counters for a bound-or-known task.
+    pmu::CounterBank task_counters(int task_id) const override;
+
+private:
+    void refresh_rates();
+
+    SimConfig cfg_;
+    std::vector<SmtCore> cores_;
+    MemorySystem memory_;
+    std::uint64_t now_ = 0;
+    std::uint64_t quanta_ = 0;
+
+    std::unordered_map<int, apps::AppInstance*> tasks_;  ///< bound tasks by id
+    std::unordered_map<int, CpuSlot> placement_;
+    std::unordered_map<int, int> last_core_;  ///< survives unbind; drives warmup
+};
+
+}  // namespace synpa::uarch

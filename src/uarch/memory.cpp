@@ -1,0 +1,16 @@
+#include "uarch/memory.hpp"
+
+#include <algorithm>
+
+namespace synpa::uarch {
+
+void MemorySystem::end_quantum(std::uint64_t memory_accesses, std::uint64_t cycles) noexcept {
+    if (cycles == 0) return;
+    const double rate = static_cast<double>(memory_accesses) / static_cast<double>(cycles);
+    const double u = std::min(rate / cfg_->mem_bw_accesses_per_cycle, 0.95);
+    // Smooth across quanta so a single spike does not whipsaw latency.
+    utilization_ = 0.5 * utilization_ + 0.5 * u;
+    queue_factor_ = std::min(1.0 / (1.0 - utilization_), cfg_->mem_queue_factor_cap);
+}
+
+}  // namespace synpa::uarch

@@ -1,0 +1,43 @@
+// Chip-level DRAM bandwidth model.
+//
+// Off-chip accesses from every core share one memory system.  The simulator
+// tracks the chip's aggregate access rate over the previous quantum and
+// inflates memory latency for the next one with an M/M/1-style queueing
+// factor 1/(1-u).  This couples the cores the same way the ThunderX2's
+// memory controllers do: a chip full of memory-bound threads sees higher
+// effective latency than an isolated run, which is one of the reasons
+// backend-heavy pairings are expensive.
+#pragma once
+
+#include <cstdint>
+
+#include "uarch/sim_config.hpp"
+
+namespace synpa::uarch {
+
+class MemorySystem {
+public:
+    explicit MemorySystem(const SimConfig& cfg) : cfg_(&cfg) {}
+
+    /// Records memory accesses observed during the quantum just executed and
+    /// recomputes the latency factor used in the next quantum.
+    void end_quantum(std::uint64_t memory_accesses, std::uint64_t cycles) noexcept;
+
+    /// Latency multiplier applied to DRAM accesses this quantum (>= 1).
+    double queue_factor() const noexcept { return queue_factor_; }
+
+    /// Utilization of the DRAM service rate in the previous quantum (0..1).
+    double utilization() const noexcept { return utilization_; }
+
+    void reset() noexcept {
+        queue_factor_ = 1.0;
+        utilization_ = 0.0;
+    }
+
+private:
+    const SimConfig* cfg_;
+    double queue_factor_ = 1.0;
+    double utilization_ = 0.0;
+};
+
+}  // namespace synpa::uarch

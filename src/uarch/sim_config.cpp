@@ -1,0 +1,72 @@
+#include "uarch/sim_config.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+
+namespace synpa::uarch {
+
+std::uint64_t config_fingerprint(const SimConfig& cfg) noexcept {
+    // Hash every field explicitly (never raw struct bytes: padding is
+    // indeterminate and would make the fingerprint nondeterministic).
+    std::uint64_t h = 0x51c0af16ULL;
+    const auto mix_u64 = [&h](std::uint64_t v) { h = common::splitmix64(h ^ v); };
+    const auto mix_int = [&](std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); };
+    const auto mix_dbl = [&](double v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix_u64(bits);
+    };
+    mix_int(cfg.smt_ways);
+    mix_int(cfg.dispatch_width);
+    mix_int(cfg.rob_size);
+    mix_int(cfg.iq_size);
+    mix_int(cfg.load_buffer);
+    mix_int(cfg.store_buffer);
+    mix_int(cfg.issue_ports);
+    mix_dbl(cfg.l1i_kb);
+    mix_dbl(cfg.l1d_kb);
+    mix_dbl(cfg.l2_kb);
+    mix_dbl(cfg.llc_mb);
+    mix_int(cfg.cores);
+    mix_int(cfg.l2_latency);
+    mix_int(cfg.llc_latency);
+    mix_int(cfg.mem_latency);
+    mix_int(cfg.branch_redirect_penalty);
+    mix_int(cfg.fetch_width);
+    mix_int(cfg.fetch_buffer_entries);
+    mix_dbl(cfg.cache_pressure_exponent);
+    mix_dbl(cfg.cache_miss_mult_cap);
+    mix_dbl(cfg.mem_bw_accesses_per_cycle);
+    mix_dbl(cfg.mem_queue_factor_cap);
+    mix_dbl(cfg.warmup_miss_multiplier);
+    mix_u64(cfg.warmup_insts);
+    mix_u64(cfg.cycles_per_quantum);
+    return h;
+}
+
+SimConfig SimConfig::from_env() {
+    using common::env_double;
+    using common::env_int;
+    SimConfig c;
+    c.cores = static_cast<int>(env_int("SYNPA_CORES", c.cores));
+    c.cycles_per_quantum = static_cast<std::uint64_t>(
+        env_int("SYNPA_QUANTUM_CYCLES", static_cast<std::int64_t>(c.cycles_per_quantum)));
+    c.mem_latency = static_cast<int>(env_int("SYNPA_MEM_LATENCY", c.mem_latency));
+    c.llc_latency = static_cast<int>(env_int("SYNPA_LLC_LATENCY", c.llc_latency));
+    c.l2_latency = static_cast<int>(env_int("SYNPA_L2_LATENCY", c.l2_latency));
+    c.mem_bw_accesses_per_cycle =
+        env_double("SYNPA_MEM_BW", c.mem_bw_accesses_per_cycle);
+    c.cache_pressure_exponent =
+        env_double("SYNPA_CACHE_PRESSURE_EXP", c.cache_pressure_exponent);
+    c.warmup_insts = static_cast<std::uint64_t>(
+        env_int("SYNPA_WARMUP_INSTS", static_cast<std::int64_t>(c.warmup_insts)));
+    c.mshr_serialization_cap =
+        static_cast<int>(env_int("SYNPA_MSHR_CAP", c.mshr_serialization_cap));
+    return c;
+}
+
+}  // namespace synpa::uarch

@@ -1,0 +1,81 @@
+// Simulator configuration: the ThunderX2 CN9975 parameters from the paper's
+// Table II plus latency/contention knobs and time-scaling controls.
+//
+// The paper's machine runs 100 ms quanta (~2.2e8 cycles at 2.2 GHz).  The
+// simulator keeps the same *structure* (SMT2 cores, dispatch width 4,
+// ROB 128, 32K/32K L1, 256K L2, shared 28M LLC) but scales the quantum down
+// so a full 20-workload evaluation fits a laptop-class time budget.  All
+// values can be overridden through SYNPA_* environment variables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace synpa::uarch {
+
+struct SimConfig {
+    // ---- Table II: core microarchitecture -------------------------------
+    int smt_ways = 2;              ///< BIOS-configured SMT2 (paper §V-A)
+    int dispatch_width = 4;        ///< instructions dispatched per cycle
+    int rob_size = 128;            ///< reorder buffer entries (partitioned in SMT)
+    int iq_size = 60;              ///< issue queue entries
+    int load_buffer = 64;          ///< load queue entries
+    int store_buffer = 36;         ///< store queue entries
+    int issue_ports = 6;
+
+    // ---- Table II: memory subsystem -------------------------------------
+    double l1i_kb = 32.0;          ///< shared by the core's SMT threads
+    double l1d_kb = 32.0;
+    double l2_kb = 256.0;          ///< per core, shared by its SMT threads
+    double llc_mb = 28.0;          ///< chip-wide shared last-level cache
+    int cores = 4;                 ///< cores used by the 8-app workloads
+
+    // ---- latencies (cycles) ---------------------------------------------
+    int l2_latency = 12;
+    int llc_latency = 40;
+    int mem_latency = 180;
+    int branch_redirect_penalty = 14;
+
+    // ---- frontend model ---------------------------------------------------
+    // The fetch port serves one thread per cycle (paper §VI-A: "the IFetch
+    // policies only allow a single thread to access the ICache at a given
+    // processor cycle"), so a width just above the dispatch width makes
+    // port sharing a real tax: a thread fetching every other cycle sustains
+    // only fetch_width/2 instructions per cycle — two frontend-hungry
+    // threads throttle each other disproportionately.
+    int fetch_width = 4;           ///< instructions fetched per port grant
+    int fetch_buffer_entries = 24; ///< per-thread dispatch queue capacity
+
+    // ---- contention model -------------------------------------------------
+    double cache_pressure_exponent = 0.85;  ///< miss mult = coverage^-e
+    double cache_miss_mult_cap = 3.0;       ///< upper bound on that multiplier
+    double mem_bw_accesses_per_cycle = 0.30;  ///< chip DRAM service rate
+    double mem_queue_factor_cap = 1.5;      ///< latency inflation bound
+    // Migration cost, scaled to the quantum: on the paper's 100 ms quanta a
+    // same-socket sched_setaffinity migration (L1/L2 refill; the LLC stays
+    // warm) is well under 1% of the quantum, so the scaled-down default
+    // keeps the same cost-to-quantum ratio.  bench_ablation_policy sweeps it.
+    double warmup_miss_multiplier = 1.5;    ///< post-migration cold-cache factor
+    std::uint64_t warmup_insts = 1000;      ///< instructions affected after a migration
+    /// Upper bound on the per-core MSHR serialization delay two
+    /// simultaneously DRAM-stalled threads impose on each other (cycles).
+    int mshr_serialization_cap = 60;
+
+    // ---- time scaling -----------------------------------------------------
+    std::uint64_t cycles_per_quantum = 50'000;
+
+    /// Effective ROB entries available to one thread.
+    int rob_share(bool smt_active) const noexcept {
+        return smt_active ? rob_size / smt_ways : rob_size;
+    }
+
+    /// Loads defaults then applies SYNPA_* environment overrides
+    /// (SYNPA_QUANTUM_CYCLES, SYNPA_CORES, SYNPA_MEM_LATENCY, ...).
+    static SimConfig from_env();
+};
+
+/// Deterministic fingerprint over every configuration field; used to key
+/// caches of simulation results (e.g. isolated profiles) safely.
+std::uint64_t config_fingerprint(const SimConfig& cfg) noexcept;
+
+}  // namespace synpa::uarch

@@ -1,0 +1,52 @@
+// One SMT2 core: per-cycle fetch-port arbitration, dispatch-slot sharing,
+// and the stall accounting that feeds the PMU.
+//
+// Contention is mechanistic, never scripted:
+//  * a single ICache fetch port alternates between threads that need it, and
+//    ICache miss service is serialized (the paper's §VI-A observation that
+//    "only a single thread can access the ICache at a given cycle");
+//  * the four dispatch slots are arbitrated with alternating priority, so
+//    two high-ILP threads each see roughly half the dispatch bandwidth;
+//  * backend stall episodes hide less latency in SMT because the ROB is
+//    partitioned between the two threads (headroom comes in via
+//    EffectiveRates, computed by the chip).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "uarch/sim_config.hpp"
+#include "uarch/thread_context.hpp"
+
+namespace synpa::uarch {
+
+class SmtCore {
+public:
+    explicit SmtCore(const SimConfig& cfg) : cfg_(&cfg) {}
+
+    ThreadContext& slot(int s) { return slots_[static_cast<std::size_t>(s)]; }
+    const ThreadContext& slot(int s) const { return slots_[static_cast<std::size_t>(s)]; }
+    int smt_ways() const noexcept { return 2; }
+
+    /// True when both SMT slots have a task bound.
+    bool smt_active() const noexcept { return slots_[0].bound() && slots_[1].bound(); }
+
+    /// Advances the core one cycle.  Returns the number of chip-level memory
+    /// accesses (LLC misses) triggered this cycle, for the bandwidth model.
+    std::uint64_t tick() noexcept;
+
+private:
+    void fetch_stage() noexcept;
+    std::uint64_t dispatch_stage() noexcept;
+    void trigger_frontend_event(ThreadContext& t) noexcept;
+    /// Returns the number of DRAM accesses caused by the episode (0 or batch).
+    std::uint64_t trigger_backend_episode(ThreadContext& t) noexcept;
+
+    const SimConfig* cfg_;
+    std::array<ThreadContext, 2> slots_{};
+    int fetch_rr_ = 0;      ///< fetch-port round-robin pointer
+    int dispatch_pri_ = 0;  ///< dispatch-priority alternator
+    int icache_busy_ = 0;   ///< cycles until the ICache miss port frees up
+};
+
+}  // namespace synpa::uarch

@@ -1,0 +1,65 @@
+// Per-hardware-thread execution state.
+//
+// A ThreadContext is one SMT slot of a core: the binding to an application
+// instance plus the microarchitectural state that lives in the core (fetch
+// buffer contents, stall timers, distance-to-next-event draws).  Binding a
+// different task resets this state — architecturally the task carries its
+// own progress (in AppInstance), but pipeline state does not migrate.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/instance.hpp"
+
+namespace synpa::uarch {
+
+/// Event probabilities and latencies for the thread's current quantum,
+/// derived by the chip from the task's phase, the co-runner's footprints,
+/// chip-wide LLC sharing, DRAM queueing, and post-migration warmup.
+struct EffectiveRates {
+    double p_branch = 0.0;        ///< branch mispredictions per fetched inst
+    double p_icache = 0.0;        ///< ICache misses per fetched inst
+    double icache_l2_fraction = 0.85;
+    double p_episode = 0.0;       ///< backend stall episodes per dispatched inst
+    int batch = 1;                ///< overlapped misses per episode (MLP)
+    double l2_hit_eff = 0.5;      ///< contention-adjusted L2 hit fraction
+    double llc_hit_eff = 0.6;     ///< contention-adjusted LLC hit fraction
+    int headroom_cycles = 32;     ///< latency the ROB can hide
+    int mem_latency_eff = 180;    ///< queue-adjusted DRAM latency
+    double dispatch_demand = 3.0; ///< instructions/cycle the task wants
+};
+
+class ThreadContext {
+public:
+    bool bound() const noexcept { return task_ != nullptr; }
+    apps::AppInstance* task() noexcept { return task_; }
+    const apps::AppInstance* task() const noexcept { return task_; }
+
+    /// Binds a task, clearing core-resident state (pipeline does not migrate).
+    void bind(apps::AppInstance* task) noexcept {
+        task_ = task;
+        fetch_buffer = 0;
+        fe_stall = 0;
+        be_stall = 0;
+        dram_stall = false;
+        insts_until_fe = -1;  // -1: draw lazily once rates are known
+        insts_until_be = -1;
+        dispatch_credit = 0.0;
+    }
+    void unbind() noexcept { bind(nullptr); }
+
+    // Core-resident microstate (managed by SmtCore's cycle loop).
+    int fetch_buffer = 0;
+    int fe_stall = 0;
+    int be_stall = 0;
+    bool dram_stall = false;  ///< current be_stall is a DRAM-bound episode
+    std::int64_t insts_until_fe = -1;
+    std::int64_t insts_until_be = -1;
+    double dispatch_credit = 0.0;
+    EffectiveRates rates;
+
+private:
+    apps::AppInstance* task_ = nullptr;
+};
+
+}  // namespace synpa::uarch

@@ -1,0 +1,84 @@
+#include "workloads/groups.hpp"
+
+#include <mutex>
+
+#include "apps/spec_suite.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "model/trainer.hpp"
+
+namespace synpa::workloads {
+
+const char* group_name(Group g) noexcept {
+    switch (g) {
+        case Group::kBackendBound: return "backend-bound";
+        case Group::kFrontendBound: return "frontend-bound";
+        case Group::kOther: return "others";
+    }
+    return "?";
+}
+
+Group classify(const model::CategoryVector& f) noexcept {
+    const double fe = f[static_cast<std::size_t>(model::Category::kFrontendStall)];
+    const double be = f[static_cast<std::size_t>(model::Category::kBackendStall)];
+    if (be > kBackendBoundThreshold) return Group::kBackendBound;
+    if (fe > kFrontendBoundThreshold) return Group::kFrontendBound;
+    return Group::kOther;
+}
+
+std::vector<AppCharacterization> characterize_suite(const uarch::SimConfig& cfg,
+                                                    std::uint64_t quanta,
+                                                    std::uint64_t seed) {
+    const auto& suite = apps::spec_suite();
+    std::vector<AppCharacterization> out(suite.size());
+    common::parallel_for(suite.size(), [&](std::size_t i) {
+        const model::IsolatedProfile prof = model::profile_isolated(
+            suite[i], cfg, quanta, common::derive_key(seed, 0xc4a2, i));
+        AppCharacterization c;
+        c.name = suite[i].name;
+        c.fractions = prof.overall_fractions();
+        c.ipc = prof.ipc();
+        c.group = classify(c.fractions);
+        out[i] = c;
+    });
+    return out;
+}
+
+void calibrate_suite(const uarch::SimConfig& cfg, std::uint64_t quanta, std::uint64_t seed) {
+    static std::mutex mutex;
+    const std::lock_guard lock(mutex);
+    auto& suite = apps::spec_suite();
+    bool done = true;
+    for (const auto& app : suite)
+        if (app.phase_categories.size() != app.phases.size()) done = false;
+    if (done) return;
+
+    for (auto& app : suite) {
+        app.phase_categories.assign(app.phases.size(), {});
+        for (std::size_t p = 0; p < app.phases.size(); ++p) {
+            // Isolate the phase in a single-phase clone so the run never
+            // leaves it, then characterize.
+            apps::AppProfile clone;
+            clone.name = app.name + "#" + app.phases[p].name;
+            clone.phases.push_back(app.phases[p]);
+            const model::IsolatedProfile prof = model::profile_isolated(
+                clone, cfg, quanta, common::derive_key(seed, 0xca1b, p));
+            app.phase_categories[p] = prof.overall_fractions();
+        }
+    }
+}
+
+std::vector<std::string> training_apps() {
+    // 22 of 28 (the paper's 80%); the held-out six cover all three groups.
+    return {"mcf",        "lbm_r",     "cactuBSSN_r", "milc",       "xalancbmk_r",
+            "leela_r",    "gobmk",     "astar",       "mcf_r",      "hmmer",
+            "nab_r",      "bwaves",    "calculix",    "cam4_r",     "deepsjeng_r",
+            "exchange2_r", "fotonik3d_r", "imagick_r", "namd_r",    "omnetpp_r",
+            "parest_r",   "povray_r"};
+}
+
+std::vector<std::string> holdout_apps() {
+    return {"wrf_r", "perlbench", "roms_r", "tonto", "blender_r", "bzip2"};
+}
+
+}  // namespace synpa::workloads

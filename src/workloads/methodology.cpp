@@ -1,0 +1,178 @@
+#include "workloads/methodology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/spec_suite.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "model/trainer.hpp"
+#include "uarch/chip.hpp"
+
+namespace synpa::workloads {
+namespace {
+
+std::uint64_t slot_seed(const MethodologyOptions& opts, const WorkloadSpec& spec, int slot,
+                        int rep) {
+    return common::derive_key(opts.seed, common::hash_string(spec.name),
+                              static_cast<std::uint64_t>(slot),
+                              static_cast<std::uint64_t>(rep));
+}
+
+/// Isolated target-profiling runs are deterministic in (app, seed, quanta,
+/// config), and the evaluation sweeps repeat them (same slot seeds for the
+/// baseline and treatment policies), so memoize them process-wide.
+struct TargetProfile {
+    std::uint64_t target_insts = 0;
+    double isolated_ipc = 0.0;
+};
+
+TargetProfile profile_target(const std::string& app_name, const uarch::SimConfig& cfg,
+                             std::uint64_t quanta, std::uint64_t seed) {
+    struct Key {
+        std::uint64_t app, cfg, quanta, seed;
+        bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const {
+            return common::derive_key(k.app, k.cfg, k.quanta, k.seed);
+        }
+    };
+    static std::unordered_map<Key, TargetProfile, KeyHash> cache;
+    static std::mutex mutex;
+
+    const Key key{common::hash_string(app_name), uarch::config_fingerprint(cfg), quanta, seed};
+    {
+        const std::lock_guard lock(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end()) return it->second;
+    }
+    const model::IsolatedProfile prof =
+        model::profile_isolated(apps::find_app(app_name), cfg, quanta, seed);
+    const TargetProfile result{.target_insts = prof.total_instructions(),
+                               .isolated_ipc = prof.ipc()};
+    const std::lock_guard lock(mutex);
+    cache.emplace(key, result);
+    return result;
+}
+
+}  // namespace
+
+PreparedWorkload prepare_workload(const WorkloadSpec& spec, const uarch::SimConfig& cfg,
+                                  const MethodologyOptions& opts, int rep) {
+    if (spec.app_names.size() != static_cast<std::size_t>(cfg.cores) * 2)
+        throw std::invalid_argument("prepare_workload: workload size must fill the chip");
+    PreparedWorkload prepared;
+    prepared.spec = spec;
+    prepared.tasks.resize(spec.app_names.size());
+    common::parallel_for(
+        spec.app_names.size(),
+        [&](std::size_t s) {
+            const std::uint64_t seed = slot_seed(opts, spec, static_cast<int>(s), rep);
+            const TargetProfile prof = profile_target(spec.app_names[s], cfg,
+                                                      opts.target_isolated_quanta, seed);
+            prepared.tasks[s] = {.app_name = spec.app_names[s],
+                                 .seed = seed,
+                                 .target_insts = prof.target_insts,
+                                 .isolated_ipc = prof.isolated_ipc};
+        },
+        opts.threads);
+    return prepared;
+}
+
+sched::RunResult run_workload_once(const PreparedWorkload& prepared,
+                                   const uarch::SimConfig& cfg,
+                                   sched::AllocationPolicy& policy,
+                                   const MethodologyOptions& opts) {
+    uarch::Chip chip(cfg);
+    sched::ThreadManager manager(
+        chip, policy, prepared.tasks,
+        {.max_quanta = opts.max_quanta, .record_traces = opts.record_traces});
+    return manager.run();
+}
+
+RepeatedResult run_workload(const WorkloadSpec& spec, const uarch::SimConfig& cfg,
+                            const PolicyFactory& make_policy,
+                            const MethodologyOptions& opts) {
+    const int reps = std::max(1, opts.reps);
+    std::vector<sched::RunResult> runs(static_cast<std::size_t>(reps));
+    std::vector<metrics::WorkloadMetrics> run_metrics(static_cast<std::size_t>(reps));
+
+    common::parallel_for(
+        static_cast<std::size_t>(reps),
+        [&](std::size_t rep) {
+            MethodologyOptions rep_opts = opts;
+            rep_opts.record_traces = opts.record_traces && rep == 0;
+            const PreparedWorkload prepared =
+                prepare_workload(spec, cfg, opts, static_cast<int>(rep));
+            const std::uint64_t rep_seed =
+                common::derive_key(opts.seed, common::hash_string(spec.name), 0x9001, rep);
+            const auto policy = make_policy(rep_seed);
+            runs[rep] = run_workload_once(prepared, cfg, *policy, rep_opts);
+            run_metrics[rep] = metrics::compute_metrics(runs[rep]);
+        },
+        opts.threads);
+
+    // The paper's outlier-discard methodology on the turnaround samples.
+    std::vector<double> tts;
+    tts.reserve(runs.size());
+    for (const auto& m : run_metrics) tts.push_back(m.turnaround_quanta);
+    const std::vector<double> kept = common::discard_outliers_until_cv(tts, opts.cv_limit);
+
+    RepeatedResult result;
+    result.workload = spec.name;
+    result.policy = runs.front().policy_name;
+    result.turnaround_samples = kept;
+    result.exemplar = std::move(runs.front());
+
+    // Average the metrics over the retained repetitions.
+    metrics::WorkloadMetrics mean{};
+    int used = 0;
+    for (std::size_t rep = 0; rep < run_metrics.size(); ++rep) {
+        const double tt = run_metrics[rep].turnaround_quanta;
+        if (std::find(kept.begin(), kept.end(), tt) == kept.end()) continue;
+        mean.turnaround_quanta += run_metrics[rep].turnaround_quanta;
+        mean.fairness += run_metrics[rep].fairness;
+        mean.ipc_geomean += run_metrics[rep].ipc_geomean;
+        mean.antt += run_metrics[rep].antt;
+        ++used;
+    }
+    if (used > 0) {
+        mean.turnaround_quanta /= used;
+        mean.fairness /= used;
+        mean.ipc_geomean /= used;
+        mean.antt /= used;
+    }
+    mean.individual_speedups = run_metrics.front().individual_speedups;
+    result.mean_metrics = mean;
+    return result;
+}
+
+std::vector<PolicyComparison> compare_policies(const std::vector<WorkloadSpec>& specs,
+                                               const uarch::SimConfig& cfg,
+                                               const PolicyFactory& make_baseline,
+                                               const PolicyFactory& make_treatment,
+                                               const MethodologyOptions& opts) {
+    std::vector<PolicyComparison> out(specs.size());
+    common::parallel_for(
+        specs.size(),
+        [&](std::size_t w) {
+            MethodologyOptions inner = opts;
+            inner.threads = 1;  // parallelism lives at the workload level
+            const RepeatedResult base = run_workload(specs[w], cfg, make_baseline, inner);
+            const RepeatedResult treat = run_workload(specs[w], cfg, make_treatment, inner);
+            PolicyComparison c;
+            c.workload = specs[w].name;
+            c.baseline = base.mean_metrics;
+            c.treatment = treat.mean_metrics;
+            c.tt_speedup = metrics::turnaround_speedup(base.mean_metrics, treat.mean_metrics);
+            c.ipc_speedup = metrics::ipc_speedup(base.mean_metrics, treat.mean_metrics);
+            c.fairness_delta = treat.mean_metrics.fairness - base.mean_metrics.fairness;
+            out[w] = c;
+        },
+        opts.threads);
+    return out;
+}
+
+}  // namespace synpa::workloads

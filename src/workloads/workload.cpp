@@ -1,0 +1,106 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace synpa::workloads {
+
+WorkloadSpec paper_be1() {
+    // Figure 6a application list (arrival order).
+    return {"be1", {"cactuBSSN_r", "mcf", "mcf", "milc", "cactuBSSN_r", "parest_r",
+                    "cam4_r", "imagick_r"}};
+}
+
+WorkloadSpec paper_fe2() {
+    // Figure 6b application list.
+    return {"fe2", {"leela_r", "gobmk", "gobmk", "leela_r", "perlbench", "cam4_r",
+                    "leela_r", "povray_r"}};
+}
+
+WorkloadSpec paper_fb2() {
+    // Figure 6c / Table V application list: Linux pairs (k, k+4), giving
+    // (lbm_r, leela_r), (mcf, leela_r), (cactuBSSN_r, astar), (mcf, mcf_r).
+    return {"fb2", {"lbm_r", "mcf", "cactuBSSN_r", "mcf", "leela_r", "leela_r", "astar",
+                    "mcf_r"}};
+}
+
+namespace {
+
+std::vector<std::string> group_members(const std::vector<AppCharacterization>& chars,
+                                       Group group) {
+    std::vector<std::string> out;
+    for (const auto& c : chars)
+        if (c.group == group) out.push_back(c.name);
+    if (out.empty()) throw std::runtime_error("paper_workloads: empty application group");
+    return out;
+}
+
+std::string pick(const std::vector<std::string>& pool, common::Rng& rng) {
+    return pool[rng.below(pool.size())];
+}
+
+/// N apps with replacement from `major` (5 or 6) + the rest from `minor`.
+std::vector<std::string> intensive_mix(const std::vector<std::string>& major,
+                                       const std::vector<std::string>& minor,
+                                       common::Rng& rng) {
+    const std::size_t majors = 5 + rng.below(2);  // 5 or 6
+    std::vector<std::string> apps;
+    for (std::size_t i = 0; i < majors; ++i) apps.push_back(pick(major, rng));
+    while (apps.size() < 8) apps.push_back(pick(minor, rng));
+    for (std::size_t i = apps.size(); i > 1; --i) std::swap(apps[i - 1], apps[rng.below(i)]);
+    return apps;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> paper_workloads(
+    const std::vector<AppCharacterization>& characterizations, std::uint64_t seed) {
+    const auto be_pool = group_members(characterizations, Group::kBackendBound);
+    const auto fe_pool = group_members(characterizations, Group::kFrontendBound);
+    const auto other_pool = group_members(characterizations, Group::kOther);
+
+    std::vector<WorkloadSpec> specs;
+    specs.reserve(20);
+
+    for (int k = 0; k < 5; ++k) {
+        if (k == 1) {
+            specs.push_back(paper_be1());
+            continue;
+        }
+        common::Rng rng(seed, 0xbe, static_cast<std::uint64_t>(k));
+        specs.push_back({"be" + std::to_string(k), intensive_mix(be_pool, other_pool, rng)});
+    }
+    for (int k = 0; k < 5; ++k) {
+        if (k == 2) {
+            specs.push_back(paper_fe2());
+            continue;
+        }
+        common::Rng rng(seed, 0xfe, static_cast<std::uint64_t>(k));
+        specs.push_back({"fe" + std::to_string(k), intensive_mix(fe_pool, other_pool, rng)});
+    }
+    for (int k = 0; k < 10; ++k) {
+        if (k == 2) {
+            specs.push_back(paper_fb2());
+            continue;
+        }
+        common::Rng rng(seed, 0xfb, static_cast<std::uint64_t>(k));
+        std::vector<std::string> apps;
+        for (int i = 0; i < 4; ++i) apps.push_back(pick(be_pool, rng));
+        for (int i = 0; i < 4; ++i) apps.push_back(pick(fe_pool, rng));
+        for (std::size_t i = apps.size(); i > 1; --i)
+            std::swap(apps[i - 1], apps[rng.below(i)]);
+        specs.push_back({"fb" + std::to_string(k), std::move(apps)});
+    }
+    return specs;
+}
+
+const WorkloadSpec& workload_by_name(const std::vector<WorkloadSpec>& specs,
+                                     const std::string& name) {
+    for (const auto& s : specs)
+        if (s.name == name) return s;
+    throw std::out_of_range("workload_by_name: unknown workload '" + name + "'");
+}
+
+}  // namespace synpa::workloads

@@ -1,0 +1,266 @@
+// Unit tests for src/common: deterministic RNG streams, statistics,
+// table rendering, env config, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using namespace synpa::common;
+
+TEST(Rng, DeterministicForSameKey) {
+    Rng a(42, 1), b(42, 1);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentKeysDiverge) {
+    Rng a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a() == b();
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(7, 0);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng r(7, 1);
+    for (int i = 0; i < 1'000; ++i) {
+        const double u = r.uniform(3.0, 5.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowStaysBelow) {
+    Rng r(7, 2);
+    for (int i = 0; i < 10'000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive) {
+    Rng r(7, 3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1'000; ++i) {
+        const auto v = r.between(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, GeometricMeanApproximatelyInverseP) {
+    Rng r(7, 4);
+    const double p = 0.02;
+    double sum = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(p));
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0 / p, 0.1 / p);  // within 10%
+}
+
+TEST(Rng, GeometricIsAtLeastOne) {
+    Rng r(7, 5);
+    for (int i = 0; i < 1'000; ++i) EXPECT_GE(r.geometric(0.9), 1u);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(7, 6);
+    double sum = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 5.0);
+}
+
+TEST(Rng, ChanceProbability) {
+    Rng r(7, 7);
+    int hits = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngHash, StringHashStableAndDistinct) {
+    EXPECT_EQ(hash_string("mcf"), hash_string("mcf"));
+    EXPECT_NE(hash_string("mcf"), hash_string("mcf_r"));
+    EXPECT_NE(hash_string(""), hash_string("a"));
+}
+
+TEST(RngHash, DeriveKeySaltsMatter) {
+    EXPECT_NE(derive_key(1, 2, 3, 4), derive_key(1, 2, 3, 5));
+    EXPECT_NE(derive_key(1, 2, 3, 4), derive_key(1, 2, 4, 3));
+    EXPECT_NE(derive_key(1, 2), derive_key(2, 1));
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+    EXPECT_NEAR(s.sample_variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, empty;
+    a.add(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Stats, GeomeanOfEqualValues) {
+    const std::vector<double> xs = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanKnownValue) {
+    const std::vector<double> xs = {1.0, 4.0};
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsZero) { EXPECT_EQ(geomean({}), 0.0); }
+
+TEST(Stats, MseBasics) {
+    const std::vector<double> a = {1.0, 2.0};
+    const std::vector<double> b = {2.0, 4.0};
+    EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 4.0) / 2.0);
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+    const std::vector<double> xs = {10.0, 10.0, 10.0};
+    EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+    const std::vector<double> ys = {1.0, 3.0};
+    EXPECT_NEAR(coefficient_of_variation(ys), 0.5, 1e-12);
+}
+
+TEST(Stats, OutlierDiscardReachesCvLimit) {
+    std::vector<double> xs = {100, 101, 99, 100, 500};  // one wild sample
+    const auto kept = discard_outliers_until_cv(xs, 0.05);
+    EXPECT_EQ(kept.size(), 4u);
+    for (double x : kept) EXPECT_LT(x, 200.0);
+}
+
+TEST(Stats, OutlierDiscardKeepsMinimum) {
+    std::vector<double> xs = {1, 100, 10'000};
+    const auto kept = discard_outliers_until_cv(xs, 0.001, 2);
+    EXPECT_GE(kept.size(), 2u);
+}
+
+TEST(Table, RendersAlignedGrid) {
+    Table t({"a", "bb"});
+    t.row().add("x").add(1.5, 1);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| x"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+    Table t({"h1", "h2"});
+    t.row().add("v").add(static_cast<long long>(3));
+    EXPECT_EQ(t.to_csv(), "h1,h2\nv,3\n");
+}
+
+TEST(Table, PercentFormatting) {
+    Table t({"p"});
+    t.row().add_pct(0.365, 1);
+    EXPECT_NE(t.to_csv().find("36.5%"), std::string::npos);
+}
+
+TEST(Table, AsciiBarClamps) {
+    EXPECT_EQ(ascii_bar(-1.0, 10), "..........");
+    EXPECT_EQ(ascii_bar(2.0, 10), "##########");
+    EXPECT_EQ(ascii_bar(0.5, 10), "#####.....");
+}
+
+TEST(Table, StackedBarWidthsSum) {
+    const std::string bar = stacked_bar(0.25, 0.25, 0.5, 20);
+    EXPECT_EQ(bar.size(), 20u);
+    EXPECT_EQ(std::count(bar.begin(), bar.end(), '#'), 5);
+    EXPECT_EQ(std::count(bar.begin(), bar.end(), 'F'), 5);
+    EXPECT_EQ(std::count(bar.begin(), bar.end(), 'B'), 10);
+}
+
+TEST(Config, EnvIntFallback) {
+    ::unsetenv("SYNPA_TEST_UNSET");
+    EXPECT_EQ(env_int("SYNPA_TEST_UNSET", 5), 5);
+    ::setenv("SYNPA_TEST_INT", "17", 1);
+    EXPECT_EQ(env_int("SYNPA_TEST_INT", 5), 17);
+    ::setenv("SYNPA_TEST_BAD", "xyz", 1);
+    EXPECT_EQ(env_int("SYNPA_TEST_BAD", 5), 5);
+}
+
+TEST(Config, EnvDoubleAndString) {
+    ::setenv("SYNPA_TEST_DBL", "2.5", 1);
+    EXPECT_DOUBLE_EQ(env_double("SYNPA_TEST_DBL", 1.0), 2.5);
+    ::setenv("SYNPA_TEST_STR", "hello", 1);
+    EXPECT_EQ(env_string("SYNPA_TEST_STR", "d"), "hello");
+    EXPECT_EQ(env_string("SYNPA_TEST_STR_UNSET", "d"), "d");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+    ThreadPool pool(2);
+    pool.wait_idle();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+    std::vector<int> hits(64, 0);
+    parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; }, 3);
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+    parallel_for(0, [](std::size_t) { FAIL(); });
+    SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the SYNPA core: the runtime estimator (inversion + EMA +
+// transfer across relaunches) and the policy's pair selection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/estimator.hpp"
+#include "core/synpa_policy.hpp"
+#include "model/interference_model.hpp"
+#include "sched/policy.hpp"
+
+namespace {
+
+using namespace synpa;
+using namespace synpa::core;
+
+model::CategoryBreakdown breakdown_from_fractions(const model::CategoryVector& f,
+                                                  std::uint64_t cycles = 10'000) {
+    model::CategoryBreakdown b;
+    b.cycles = cycles;
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+        b.categories[c] = f[c] * static_cast<double>(cycles);
+    return b;
+}
+
+sched::TaskObservation make_obs(int task, int core, int partner,
+                                const model::CategoryVector& fractions) {
+    sched::TaskObservation o;
+    o.task_id = task;
+    o.core = core;
+    o.corunner_task_id = partner;
+    o.breakdown = breakdown_from_fractions(fractions);
+    return o;
+}
+
+TEST(Estimator, UnknownTaskHasUniformPrior) {
+    const SynpaEstimator est(model::InterferenceModel::paper_table4());
+    const auto e = est.estimate(42);
+    EXPECT_NEAR(e[0], 1.0 / 3.0, 1e-12);
+    EXPECT_FALSE(est.has_estimate(42));
+}
+
+TEST(Estimator, SoloObservationIsTakenDirectly) {
+    SynpaEstimator est(model::InterferenceModel::paper_table4());
+    const model::CategoryVector f = {0.5, 0.2, 0.3};
+    const std::vector<sched::TaskObservation> obs = {make_obs(1, 0, -1, f)};
+    est.observe(obs);
+    ASSERT_TRUE(est.has_estimate(1));
+    const auto e = est.estimate(1);
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(e[c], f[c], 1e-9);
+}
+
+TEST(Estimator, PairObservationInvertsForBothTasks) {
+    const model::InterferenceModel m = model::InterferenceModel::paper_table4();
+    SynpaEstimator::Options opts;
+    opts.ema_alpha = 1.0;  // no smoothing: compare against exact inversion
+    SynpaEstimator est(m, opts);
+
+    // Forward-model known isolated vectors, feed the fractions as a pair.
+    const model::CategoryVector st_a = {0.5, 0.3, 0.2};
+    const model::CategoryVector st_b = {0.2, 0.1, 0.7};
+    const auto smt_a = m.predict(st_a, st_b);
+    const auto smt_b = m.predict(st_b, st_a);
+    const double sa = smt_a[0] + smt_a[1] + smt_a[2];
+    const double sb = smt_b[0] + smt_b[1] + smt_b[2];
+    const std::vector<sched::TaskObservation> obs = {
+        make_obs(1, 0, 2, {smt_a[0] / sa, smt_a[1] / sa, smt_a[2] / sa}),
+        make_obs(2, 0, 1, {smt_b[0] / sb, smt_b[1] / sb, smt_b[2] / sb})};
+    est.observe(obs);
+    const auto ea = est.estimate(1);
+    const auto eb = est.estimate(2);
+    // The paper model is strongly co-runner-dominated (backend gamma > beta),
+    // so the inverse is not unique; require a *consistent* solution — the
+    // forward model applied to the estimates must reproduce the observed
+    // SMT fractions.
+    const auto back_a = m.predict(ea, eb);
+    const auto back_b = m.predict(eb, ea);
+    const double ba = back_a[0] + back_a[1] + back_a[2];
+    const double bb = back_b[0] + back_b[1] + back_b[2];
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(back_a[c] / ba, smt_a[c] / sa, 0.05);
+        EXPECT_NEAR(back_b[c] / bb, smt_b[c] / sb, 0.05);
+    }
+}
+
+TEST(Estimator, EmaBlendsTowardNewObservations) {
+    SynpaEstimator::Options opts;
+    opts.ema_alpha = 0.5;
+    SynpaEstimator est(model::InterferenceModel::paper_table4(), opts);
+    est.observe(std::vector<sched::TaskObservation>{make_obs(1, 0, -1, {1.0, 0.0, 0.0})});
+    est.observe(std::vector<sched::TaskObservation>{make_obs(1, 0, -1, {0.0, 1.0, 0.0})});
+    const auto e = est.estimate(1);
+    EXPECT_NEAR(e[0], 0.5, 1e-9);
+    EXPECT_NEAR(e[1], 0.5, 1e-9);
+}
+
+TEST(Estimator, TransferMovesEstimateAcrossRelaunch) {
+    SynpaEstimator est(model::InterferenceModel::paper_table4());
+    est.observe(std::vector<sched::TaskObservation>{make_obs(1, 0, -1, {0.6, 0.2, 0.2})});
+    est.transfer(1, 9);
+    EXPECT_FALSE(est.has_estimate(1));
+    ASSERT_TRUE(est.has_estimate(9));
+    EXPECT_NEAR(est.estimate(9)[0], 0.6, 1e-9);
+    est.transfer(123, 456);  // unknown source: harmless no-op
+    EXPECT_FALSE(est.has_estimate(456));
+}
+
+TEST(Estimator, PairWeightSymmetricSum) {
+    SynpaEstimator est(model::InterferenceModel::paper_table4());
+    est.observe(std::vector<sched::TaskObservation>{make_obs(1, 0, -1, {0.6, 0.2, 0.2}),
+                                                    make_obs(2, 1, -1, {0.1, 0.1, 0.8})});
+    EXPECT_DOUBLE_EQ(est.pair_weight(1, 2), est.pair_weight(2, 1));
+    EXPECT_GT(est.pair_weight(1, 2), 2.0);  // two slowdowns, each >= ~1
+}
+
+TEST(SynpaPolicyTest, NamesReflectSelector) {
+    const model::InterferenceModel m = model::InterferenceModel::paper_table4();
+    EXPECT_EQ(SynpaPolicy(m).name(), "synpa");
+    SynpaPolicy::Options dp;
+    dp.selector = PairSelector::kSubsetDp;
+    EXPECT_EQ(SynpaPolicy(m, dp).name(), "synpa-dp");
+    SynpaPolicy::Options gr;
+    gr.selector = PairSelector::kGreedy;
+    EXPECT_EQ(SynpaPolicy(m, gr).name(), "synpa-greedy");
+}
+
+TEST(SynpaPolicyTest, SelectorsAgreeOnClearCutMatrix) {
+    const model::InterferenceModel m = model::InterferenceModel::paper_table4();
+    matching::WeightMatrix w(4);
+    w.set(0, 1, 1.0);
+    w.set(2, 3, 1.0);
+    w.set(0, 2, 9.0);
+    w.set(0, 3, 9.0);
+    w.set(1, 2, 9.0);
+    w.set(1, 3, 9.0);
+    for (PairSelector sel :
+         {PairSelector::kBlossom, PairSelector::kSubsetDp, PairSelector::kGreedy}) {
+        SynpaPolicy::Options opts;
+        opts.selector = sel;
+        const SynpaPolicy policy(m, opts);
+        const auto pairs = policy.select_pairs(w);
+        ASSERT_EQ(pairs.size(), 2u);
+        EXPECT_NEAR(matching::matching_weight(w, pairs), 2.0, 1e-9);
+    }
+}
+
+TEST(SynpaPolicyTest, ReallocationIsAValidPermutation) {
+    const model::InterferenceModel m = model::InterferenceModel::paper_table4();
+    SynpaPolicy policy(m);
+    // Mixed workload observations: two frontend-ish, two backend-ish tasks.
+    std::vector<sched::TaskObservation> obs = {
+        make_obs(1, 0, 2, {0.3, 0.5, 0.2}), make_obs(2, 0, 1, {0.15, 0.05, 0.8}),
+        make_obs(3, 1, 4, {0.3, 0.5, 0.2}), make_obs(4, 1, 3, {0.15, 0.05, 0.8})};
+    const sched::PairAllocation a = policy.reallocate(obs);
+    ASSERT_EQ(a.size(), 2u);
+    std::set<int> seen;
+    for (const auto& [x, y] : a) {
+        EXPECT_NE(x, y);
+        seen.insert(x);
+        seen.insert(y);
+    }
+    EXPECT_EQ(seen, (std::set<int>{1, 2, 3, 4}));
+}
+
+TEST(SynpaPolicyTest, OnTaskReplacedKeepsEstimatorContinuity) {
+    const model::InterferenceModel m = model::InterferenceModel::paper_table4();
+    SynpaPolicy policy(m);
+    policy.on_task_replaced(1, 2);  // must not throw even for unseen ids
+    SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// End-to-end integration tests (includes the umbrella header to keep it
+// compiling): train a model on the simulator, run a mixed
+// workload under every policy, and check the system-level invariants the
+// paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "synpa.hpp"
+
+#include "core/synpa_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "model/trainer.hpp"
+#include "sched/baselines.hpp"
+#include "workloads/groups.hpp"
+#include "workloads/methodology.hpp"
+
+namespace {
+
+using namespace synpa;
+
+/// Small-but-real scales so the full pipeline runs in seconds.
+uarch::SimConfig integration_config() {
+    uarch::SimConfig cfg;
+    cfg.cycles_per_quantum = 8'000;
+    return cfg;
+}
+
+model::TrainingResult& shared_model() {
+    static model::TrainingResult result = [] {
+        model::TrainerOptions opts;
+        opts.isolated_quanta = 30;
+        opts.pair_quanta = 12;
+        opts.threads = 1;
+        const std::vector<std::string> apps = {"mcf",   "lbm_r", "leela_r", "gobmk",
+                                               "nab_r", "bwaves"};
+        return model::Trainer(integration_config(), opts).train(apps);
+    }();
+    return result;
+}
+
+TEST(Integration, TrainedModelHasPaperLikeStructure) {
+    const model::TrainingResult& r = shared_model();
+    // Own-behaviour dominates every category (beta near or above 1)...
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+        EXPECT_GT(r.model.coefficients(static_cast<model::Category>(c)).beta, 0.7);
+    // ...and the backend category is the noisiest fit, as in the paper.
+    EXPECT_GE(r.mse[2], r.mse[0]);
+    // Predicting a pair of equal tasks yields a slowdown above 1.
+    const model::CategoryVector mixed = {0.4, 0.3, 0.3};
+    EXPECT_GT(r.model.predict_slowdown(mixed, mixed), 1.05);
+}
+
+TEST(Integration, FullWorkloadUnderEveryPolicy) {
+    const uarch::SimConfig cfg = integration_config();
+    workloads::MethodologyOptions opts;
+    opts.reps = 1;
+    opts.target_isolated_quanta = 15;
+    opts.max_quanta = 4'000;
+    workloads::calibrate_suite(cfg, 6, 1);
+
+    const workloads::WorkloadSpec spec = workloads::paper_fb2();
+    const model::InterferenceModel& m = shared_model().model;
+
+    const std::vector<workloads::PolicyFactory> factories = {
+        [](std::uint64_t) { return std::make_unique<sched::LinuxPolicy>(); },
+        [](std::uint64_t s) { return std::make_unique<sched::RandomPolicy>(s); },
+        [&](std::uint64_t) { return std::make_unique<sched::OraclePolicy>(m); },
+        [&](std::uint64_t) { return std::make_unique<core::SynpaPolicy>(m); },
+    };
+
+    std::vector<metrics::WorkloadMetrics> results;
+    for (const auto& factory : factories) {
+        const workloads::RepeatedResult r = workloads::run_workload(spec, cfg, factory, opts);
+        ASSERT_TRUE(r.exemplar.completed) << r.policy;
+        ASSERT_EQ(r.exemplar.outcomes.size(), 8u) << r.policy;
+        EXPECT_GT(r.mean_metrics.turnaround_quanta, 0.0);
+        EXPECT_GT(r.mean_metrics.fairness, 0.4);
+        EXPECT_LE(r.mean_metrics.fairness, 1.0);
+        for (double s : r.mean_metrics.individual_speedups) {
+            EXPECT_GT(s, 0.15);
+            EXPECT_LT(s, 1.2);  // SMT cannot beat isolated by much
+        }
+        results.push_back(r.mean_metrics);
+    }
+
+    // Informed policies must not lose badly to random churn.
+    const double random_tt = results[1].turnaround_quanta;
+    EXPECT_LE(results[3].turnaround_quanta, random_tt * 1.05);  // synpa
+    EXPECT_LE(results[0].turnaround_quanta, random_tt * 1.05);  // linux
+}
+
+TEST(Integration, WholeRunIsDeterministic) {
+    const uarch::SimConfig cfg = integration_config();
+    workloads::MethodologyOptions opts;
+    opts.reps = 1;
+    opts.target_isolated_quanta = 10;
+    opts.record_traces = false;
+    const model::InterferenceModel& m = shared_model().model;
+    const workloads::PolicyFactory synpa_factory = [&](std::uint64_t) {
+        return std::make_unique<core::SynpaPolicy>(m);
+    };
+    const auto a =
+        workloads::run_workload(workloads::paper_fe2(), cfg, synpa_factory, opts);
+    const auto b =
+        workloads::run_workload(workloads::paper_fe2(), cfg, synpa_factory, opts);
+    EXPECT_DOUBLE_EQ(a.mean_metrics.turnaround_quanta, b.mean_metrics.turnaround_quanta);
+    EXPECT_DOUBLE_EQ(a.mean_metrics.ipc_geomean, b.mean_metrics.ipc_geomean);
+    EXPECT_EQ(a.exemplar.migrations, b.exemplar.migrations);
+}
+
+TEST(Integration, PolicyBehaviourIsIndependentOfTraceRecording) {
+    const uarch::SimConfig cfg = integration_config();
+    workloads::MethodologyOptions with_traces, without_traces;
+    with_traces.reps = without_traces.reps = 1;
+    with_traces.target_isolated_quanta = without_traces.target_isolated_quanta = 10;
+    with_traces.record_traces = true;
+    without_traces.record_traces = false;
+    const workloads::PolicyFactory linux_factory = [](std::uint64_t) {
+        return std::make_unique<sched::LinuxPolicy>();
+    };
+    const auto a =
+        workloads::run_workload(workloads::paper_be1(), cfg, linux_factory, with_traces);
+    const auto b =
+        workloads::run_workload(workloads::paper_be1(), cfg, linux_factory, without_traces);
+    EXPECT_DOUBLE_EQ(a.mean_metrics.turnaround_quanta, b.mean_metrics.turnaround_quanta);
+}
+
+}  // namespace

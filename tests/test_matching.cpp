@@ -1,0 +1,230 @@
+// Tests for the matching solvers: brute force, subset DP, and Blossom must
+// agree on optimal weight across random instances (the key property that
+// validates the Blossom implementation), plus hysteresis behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "matching/matching.hpp"
+
+namespace {
+
+using namespace synpa::matching;
+using synpa::common::Rng;
+
+WeightMatrix random_matrix(std::size_t n, std::uint64_t seed, double lo = 0.0,
+                           double hi = 10.0) {
+    Rng rng(seed, 0x3a3);
+    WeightMatrix w(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v) w.set(u, v, rng.uniform(lo, hi));
+    return w;
+}
+
+void expect_valid_perfect(const MatchingResult& m, std::size_t n) {
+    ASSERT_EQ(m.mate.size(), n);
+    ASSERT_EQ(m.pairs.size(), n / 2);
+    std::vector<bool> seen(n, false);
+    for (auto [u, v] : m.pairs) {
+        ASSERT_GE(u, 0);
+        ASSERT_LT(static_cast<std::size_t>(v), n);
+        ASSERT_NE(u, v);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(u)]);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+        seen[static_cast<std::size_t>(u)] = seen[static_cast<std::size_t>(v)] = true;
+        EXPECT_EQ(m.mate[static_cast<std::size_t>(u)], v);
+        EXPECT_EQ(m.mate[static_cast<std::size_t>(v)], u);
+    }
+}
+
+TEST(WeightMatrixTest, SymmetricSetGet) {
+    WeightMatrix w(4);
+    w.set(1, 3, 2.5);
+    EXPECT_DOUBLE_EQ(w.get(3, 1), 2.5);
+    EXPECT_THROW(w.get(4, 0), std::out_of_range);
+    EXPECT_THROW(w.set(0, 4, 1.0), std::out_of_range);
+}
+
+TEST(WeightMatrixTest, MinMaxWeight) {
+    WeightMatrix w(3);
+    w.set(0, 1, -1.0);
+    w.set(0, 2, 5.0);
+    w.set(1, 2, 2.0);
+    EXPECT_DOUBLE_EQ(w.min_weight(), -1.0);
+    EXPECT_DOUBLE_EQ(w.max_weight(), 5.0);
+}
+
+TEST(Matchers, RejectOddOrEmpty) {
+    const BruteForceMatcher bf;
+    const SubsetDpMatcher dp;
+    const BlossomMatcher bl;
+    for (const Matcher* m : {static_cast<const Matcher*>(&bf),
+                             static_cast<const Matcher*>(&dp),
+                             static_cast<const Matcher*>(&bl)}) {
+        EXPECT_THROW(m->min_weight_perfect(WeightMatrix(3)), std::invalid_argument);
+        EXPECT_THROW(m->min_weight_perfect(WeightMatrix(0)), std::invalid_argument);
+    }
+}
+
+TEST(Matchers, TrivialTwoVertices) {
+    WeightMatrix w(2);
+    w.set(0, 1, 7.0);
+    for (const MatchingResult& m :
+         {BruteForceMatcher{}.min_weight_perfect(w), SubsetDpMatcher{}.min_weight_perfect(w),
+          BlossomMatcher{}.min_weight_perfect(w)}) {
+        expect_valid_perfect(m, 2);
+        EXPECT_DOUBLE_EQ(m.total_weight, 7.0);
+    }
+}
+
+TEST(Matchers, KnownFourVertexInstance) {
+    // Optimal min pairing: (0,1) + (2,3) = 1 + 1 = 2.
+    WeightMatrix w(4);
+    w.set(0, 1, 1.0);
+    w.set(2, 3, 1.0);
+    w.set(0, 2, 10.0);
+    w.set(0, 3, 10.0);
+    w.set(1, 2, 10.0);
+    w.set(1, 3, 10.0);
+    for (const MatchingResult& m :
+         {BruteForceMatcher{}.min_weight_perfect(w), SubsetDpMatcher{}.min_weight_perfect(w),
+          BlossomMatcher{}.min_weight_perfect(w)}) {
+        expect_valid_perfect(m, 4);
+        EXPECT_DOUBLE_EQ(m.total_weight, 2.0);
+        EXPECT_EQ(m.mate[0], 1);
+        EXPECT_EQ(m.mate[2], 3);
+    }
+}
+
+// Property: all three solvers find the same optimal total on random
+// instances, for both min and max orientation.
+class MatcherAgreement : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MatcherAgreement, MinAndMaxTotalsAgree) {
+    const auto [n, seed] = GetParam();
+    const WeightMatrix w =
+        random_matrix(static_cast<std::size_t>(n), static_cast<std::uint64_t>(seed));
+    const BruteForceMatcher bf;
+    const SubsetDpMatcher dp;
+    const BlossomMatcher bl;
+
+    const auto bf_min = bf.min_weight_perfect(w);
+    const auto dp_min = dp.min_weight_perfect(w);
+    const auto bl_min = bl.min_weight_perfect(w);
+    expect_valid_perfect(bf_min, static_cast<std::size_t>(n));
+    expect_valid_perfect(dp_min, static_cast<std::size_t>(n));
+    expect_valid_perfect(bl_min, static_cast<std::size_t>(n));
+    EXPECT_NEAR(dp_min.total_weight, bf_min.total_weight, 1e-9);
+    // Blossom quantizes weights to a fine grid; allow that tolerance.
+    EXPECT_NEAR(bl_min.total_weight, bf_min.total_weight, 1e-3);
+
+    const auto bf_max = bf.max_weight_perfect(w);
+    const auto dp_max = dp.max_weight_perfect(w);
+    const auto bl_max = bl.max_weight_perfect(w);
+    EXPECT_NEAR(dp_max.total_weight, bf_max.total_weight, 1e-9);
+    EXPECT_NEAR(bl_max.total_weight, bf_max.total_weight, 1e-3);
+    EXPECT_GE(bf_max.total_weight, bf_min.total_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MatcherAgreement,
+                         ::testing::Combine(::testing::Values(2, 4, 6, 8, 10),
+                                            ::testing::Range(0, 8)));
+
+TEST(Blossom, NegativeWeightsHandled) {
+    Rng rng(4, 0);
+    for (int trial = 0; trial < 10; ++trial) {
+        const WeightMatrix w = random_matrix(8, 1000 + trial, -5.0, 5.0);
+        const auto bl = BlossomMatcher{}.min_weight_perfect(w);
+        const auto dp = SubsetDpMatcher{}.min_weight_perfect(w);
+        expect_valid_perfect(bl, 8);
+        EXPECT_NEAR(bl.total_weight, dp.total_weight, 1e-3);
+    }
+}
+
+TEST(Blossom, LargerInstancesStayConsistentWithDp) {
+    for (int n : {12, 16, 20}) {
+        const WeightMatrix w = random_matrix(static_cast<std::size_t>(n), 77 + n);
+        const auto bl = BlossomMatcher{}.min_weight_perfect(w);
+        const auto dp = SubsetDpMatcher{}.min_weight_perfect(w);
+        expect_valid_perfect(bl, static_cast<std::size_t>(n));
+        EXPECT_NEAR(bl.total_weight, dp.total_weight, 1e-3);
+    }
+}
+
+TEST(Blossom, ScalesBeyondDpLimits) {
+    // n = 64 is far above the subset-DP range; verify validity and that the
+    // result is no worse than a greedy pairing.
+    const std::size_t n = 64;
+    const WeightMatrix w = random_matrix(n, 31337);
+    const auto bl = BlossomMatcher{}.min_weight_perfect(w);
+    expect_valid_perfect(bl, n);
+
+    // Greedy reference.
+    std::vector<bool> used(n, false);
+    double greedy_total = 0.0;
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        double best = 1e18;
+        std::size_t bu = 0, bv = 0;
+        for (std::size_t u = 0; u < n; ++u)
+            for (std::size_t v = u + 1; v < n; ++v)
+                if (!used[u] && !used[v] && w.get(u, v) < best) {
+                    best = w.get(u, v);
+                    bu = u;
+                    bv = v;
+                }
+        used[bu] = used[bv] = true;
+        greedy_total += best;
+    }
+    EXPECT_LE(bl.total_weight, greedy_total + 1e-6);
+}
+
+TEST(MatchingWeight, SumsPairs) {
+    WeightMatrix w(4);
+    w.set(0, 1, 1.5);
+    w.set(2, 3, 2.5);
+    EXPECT_DOUBLE_EQ(matching_weight(w, {{0, 1}, {2, 3}}), 4.0);
+}
+
+TEST(Stabilized, KeepsCurrentWithinThreshold) {
+    WeightMatrix w(4);
+    // Two nearly-equal matchings.
+    w.set(0, 1, 1.0);
+    w.set(2, 3, 1.0);
+    w.set(0, 2, 1.0001);
+    w.set(1, 3, 1.0001);
+    w.set(0, 3, 5.0);
+    w.set(1, 2, 5.0);
+    const SubsetDpMatcher dp;
+    const std::vector<std::pair<int, int>> current = {{0, 2}, {1, 3}};  // slightly worse
+    const auto sel = stabilized_min_weight(w, current, dp, 0.01, 0.01);
+    EXPECT_TRUE(sel.kept_current);
+    EXPECT_EQ(sel.pairs, current);
+}
+
+TEST(Stabilized, MovesWhenGainIsLarge) {
+    WeightMatrix w(4);
+    w.set(0, 1, 1.0);
+    w.set(2, 3, 1.0);
+    w.set(0, 2, 10.0);
+    w.set(1, 3, 10.0);
+    w.set(0, 3, 10.0);
+    w.set(1, 2, 10.0);
+    const SubsetDpMatcher dp;
+    const std::vector<std::pair<int, int>> current = {{0, 2}, {1, 3}};
+    const auto sel = stabilized_min_weight(w, current, dp, 0.01, 0.01);
+    EXPECT_FALSE(sel.kept_current);
+    EXPECT_NEAR(sel.selected_weight, 2.0, 1e-9);
+    EXPECT_NEAR(sel.current_weight, 20.0, 1e-9);
+}
+
+TEST(Stabilized, NoCurrentJustSolves) {
+    WeightMatrix w(2);
+    w.set(0, 1, 3.0);
+    const SubsetDpMatcher dp;
+    const auto sel = stabilized_min_weight(w, {}, dp);
+    EXPECT_FALSE(sel.kept_current);
+    EXPECT_NEAR(sel.selected_weight, 3.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for the evaluation metrics: turnaround, fairness, IPC aggregation,
+// and the Table V pair-behaviour statistics.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace synpa;
+using namespace synpa::metrics;
+
+sched::RunResult make_run(std::vector<double> speedups, std::vector<double> ipcs,
+                          double tt = 100.0) {
+    sched::RunResult r;
+    r.turnaround_quanta = tt;
+    for (std::size_t i = 0; i < speedups.size(); ++i) {
+        sched::TaskOutcome out;
+        out.slot_index = static_cast<int>(i);
+        out.individual_speedup = speedups[i];
+        out.ipc_smt = ipcs[i];
+        r.outcomes.push_back(out);
+    }
+    return r;
+}
+
+TEST(Metrics, PerfectlyFairWorkload) {
+    const auto m = compute_metrics(make_run({0.5, 0.5, 0.5}, {1.0, 1.0, 1.0}));
+    EXPECT_DOUBLE_EQ(m.fairness, 1.0);  // zero variance in speedups
+    EXPECT_DOUBLE_EQ(m.ipc_geomean, 1.0);
+    EXPECT_DOUBLE_EQ(m.turnaround_quanta, 100.0);
+    EXPECT_DOUBLE_EQ(m.antt, 2.0);  // 1/0.5
+}
+
+TEST(Metrics, FairnessDropsWithSpread) {
+    const auto even = compute_metrics(make_run({0.5, 0.5}, {1, 1}));
+    const auto skew = compute_metrics(make_run({0.9, 0.1}, {1, 1}));
+    EXPECT_GT(even.fairness, skew.fairness);
+    EXPECT_LE(skew.fairness, 1.0);
+}
+
+TEST(Metrics, IpcGeomean) {
+    const auto m = compute_metrics(make_run({1, 1}, {1.0, 4.0}));
+    EXPECT_NEAR(m.ipc_geomean, 2.0, 1e-12);
+}
+
+TEST(Metrics, SpeedupRatios) {
+    WorkloadMetrics base, treat;
+    base.turnaround_quanta = 200;
+    treat.turnaround_quanta = 100;
+    base.ipc_geomean = 1.0;
+    treat.ipc_geomean = 1.1;
+    EXPECT_DOUBLE_EQ(turnaround_speedup(base, treat), 2.0);  // treat is 2x faster
+    EXPECT_DOUBLE_EQ(ipc_speedup(base, treat), 1.1);
+}
+
+TEST(Metrics, EmptyRunIsSafe) {
+    const auto m = compute_metrics(sched::RunResult{});
+    EXPECT_DOUBLE_EQ(m.fairness, 0.0);
+    EXPECT_DOUBLE_EQ(m.ipc_geomean, 0.0);
+}
+
+TEST(PairBehavior, CountsCrossGroupQuanta) {
+    sched::RunResult r;
+    r.traces.resize(2);
+    // Slot 0 behaves frontend for 3 quanta with slot 1, backend for 1.
+    for (int q = 0; q < 4; ++q) {
+        sched::QuantumTrace t;
+        t.quantum = static_cast<std::uint64_t>(q);
+        t.corunner_slot = 1;
+        t.frontend_dominant = q < 3;
+        r.traces[0].push_back(t);
+    }
+    // Slot 1 is always backend-behaving with slot 0.
+    for (int q = 0; q < 4; ++q) {
+        sched::QuantumTrace t;
+        t.quantum = static_cast<std::uint64_t>(q);
+        t.corunner_slot = 0;
+        t.frontend_dominant = false;
+        r.traces[1].push_back(t);
+    }
+    const std::vector<workloads::Group> groups = {workloads::Group::kFrontendBound,
+                                                  workloads::Group::kBackendBound};
+    const PairBehaviorStats stats = pair_behavior_stats(r, groups);
+    ASSERT_EQ(stats.slots, 2);
+    // Slot 0: 75% of quanta frontend-behaving with slot 1, 25% backend.
+    EXPECT_NEAR(stats.fe_share[0][1], 75.0, 1e-9);
+    EXPECT_NEAR(stats.be_share[0][1], 25.0, 1e-9);
+    // Cross-group: frontend behaviour with backend-bound partner = 3 of 4.
+    EXPECT_NEAR(stats.diff_group_pct[0], 75.0, 1e-9);
+    // Slot 1: backend behaviour with a frontend-bound partner every quantum.
+    EXPECT_NEAR(stats.diff_group_pct[1], 100.0, 1e-9);
+}
+
+TEST(PairBehavior, EmptyTracesAreSafe) {
+    sched::RunResult r;
+    r.traces.resize(3);
+    const std::vector<workloads::Group> groups(3, workloads::Group::kOther);
+    const PairBehaviorStats stats = pair_behavior_stats(r, groups);
+    EXPECT_EQ(stats.slots, 3);
+    for (double pct : stats.diff_group_pct) EXPECT_DOUBLE_EQ(pct, 0.0);
+}
+
+}  // namespace

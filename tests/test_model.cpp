@@ -1,0 +1,282 @@
+// Tests for the model module: the three-step characterization arithmetic,
+// Equation 1 mechanics, model inversion (round-trip property), the trainer
+// pipeline and the extended (ablation) characterization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/instance.hpp"
+#include "apps/spec_suite.hpp"
+#include "common/rng.hpp"
+#include "uarch/chip.hpp"
+#include "model/categories.hpp"
+#include "model/extended_model.hpp"
+#include "model/interference_model.hpp"
+#include "model/inversion.hpp"
+#include "model/trainer.hpp"
+#include "workloads/groups.hpp"
+
+namespace {
+
+using namespace synpa;
+using namespace synpa::model;
+
+pmu::CounterBank make_bank(std::uint64_t cycles, std::uint64_t insts, std::uint64_t fe,
+                           std::uint64_t be) {
+    pmu::CounterBank b;
+    b.increment(pmu::Event::kCpuCycles, cycles);
+    b.increment(pmu::Event::kInstSpec, insts);
+    b.increment(pmu::Event::kStallFrontend, fe);
+    b.increment(pmu::Event::kStallBackend, be);
+    return b;
+}
+
+TEST(Characterize, StepArithmetic) {
+    // 1000 cycles, 800 insts, 200 FE stalls, 300 BE stalls, width 4:
+    //   Dc = 500, F-Dc = 200, Reveals = 300 -> BE total = 600.
+    const auto b = characterize(make_bank(1000, 800, 200, 300), 4);
+    EXPECT_DOUBLE_EQ(b.dispatch_cycles, 500.0);
+    EXPECT_DOUBLE_EQ(b.full_dispatch_cycles, 200.0);
+    EXPECT_DOUBLE_EQ(b.revealed_stalls, 300.0);
+    EXPECT_DOUBLE_EQ(b.categories[0], 200.0);
+    EXPECT_DOUBLE_EQ(b.categories[1], 200.0);
+    EXPECT_DOUBLE_EQ(b.categories[2], 600.0);
+}
+
+TEST(Characterize, FractionsSumToOne) {
+    const auto b = characterize(make_bank(1000, 800, 200, 300), 4);
+    const auto f = b.fractions();
+    EXPECT_NEAR(f[0] + f[1] + f[2], 1.0, 1e-12);
+}
+
+TEST(Characterize, FullDispatchClampedToDispatchCycles) {
+    // More instructions than dispatch cycles could carry: F-Dc clamps.
+    const auto b = characterize(make_bank(100, 4000, 0, 0), 4);
+    EXPECT_DOUBLE_EQ(b.full_dispatch_cycles, 100.0);
+    EXPECT_DOUBLE_EQ(b.revealed_stalls, 0.0);
+}
+
+TEST(Characterize, StallsClampedToCycles) {
+    // Overlapping counters must never produce negative dispatch cycles.
+    const auto b = characterize(make_bank(100, 10, 80, 80), 4);
+    EXPECT_GE(b.dispatch_cycles, 0.0);
+    const auto f = b.fractions();
+    EXPECT_NEAR(f[0] + f[1] + f[2], 1.0, 1e-12);
+}
+
+TEST(Characterize, EmptyWindow) {
+    const auto b = characterize(pmu::CounterBank{}, 4);
+    EXPECT_EQ(b.cycles, 0u);
+    EXPECT_DOUBLE_EQ(b.ipc(), 0.0);
+}
+
+TEST(Characterize, IpcComputed) {
+    const auto b = characterize(make_bank(1000, 2500, 0, 0), 4);
+    EXPECT_DOUBLE_EQ(b.ipc(), 2.5);
+}
+
+TEST(Model, PaperTableFourValues) {
+    const InterferenceModel m = InterferenceModel::paper_table4();
+    const auto& fd = m.coefficients(Category::kFullDispatch);
+    EXPECT_DOUBLE_EQ(fd.alpha, 0.0072);
+    EXPECT_DOUBLE_EQ(fd.beta, 0.9060);
+    EXPECT_DOUBLE_EQ(fd.rho, 0.0314);
+    const auto& be = m.coefficients(Category::kBackendStall);
+    EXPECT_DOUBLE_EQ(be.gamma, 1.4391);
+}
+
+TEST(Model, PredictMatchesHandComputation) {
+    CategoryCoefficients k{.alpha = 0.1, .beta = 1.2, .gamma = 0.3, .rho = 0.5};
+    EXPECT_DOUBLE_EQ(k.predict(0.4, 0.6), 0.1 + 1.2 * 0.4 + 0.3 * 0.6 + 0.5 * 0.24);
+}
+
+TEST(Model, SlowdownIsCategorySum) {
+    const InterferenceModel m = InterferenceModel::paper_table4();
+    const CategoryVector a = {0.5, 0.2, 0.3};
+    const CategoryVector b = {0.3, 0.3, 0.4};
+    const auto pred = m.predict(a, b);
+    EXPECT_NEAR(m.predict_slowdown(a, b), pred[0] + pred[1] + pred[2], 1e-12);
+    // SMT execution costs at least as much as isolated in any sane model.
+    EXPECT_GT(m.predict_slowdown(a, b), 1.0);
+}
+
+TEST(Model, ToStringMentionsEveryCategory) {
+    const std::string s = InterferenceModel::paper_table4().to_string();
+    for (const char* name : kCategoryNames) EXPECT_NE(s.find(name), std::string::npos);
+}
+
+// Round-trip property: forward-model a pair of isolated vectors, normalize
+// to fractions, invert, and require the original vectors back.
+class InversionRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(InversionRoundTrip, RecoversIsolatedFractions) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()), 0x1aa);
+    // Random plausible model: beta-dominant, mild co-runner terms.
+    std::array<CategoryCoefficients, kCategoryCount> coeffs{};
+    for (auto& k : coeffs) {
+        k.alpha = rng.uniform(0.0, 0.2);
+        k.beta = rng.uniform(0.9, 1.4);
+        k.gamma = rng.uniform(0.0, 0.4);
+        k.rho = rng.uniform(0.0, 0.5);
+    }
+    const InterferenceModel m{coeffs};
+
+    auto random_simplex = [&rng] {
+        CategoryVector v{rng.uniform(0.05, 1.0), rng.uniform(0.05, 1.0),
+                         rng.uniform(0.05, 1.0)};
+        const double s = v[0] + v[1] + v[2];
+        for (double& x : v) x /= s;
+        return v;
+    };
+    const CategoryVector st_i = random_simplex();
+    const CategoryVector st_j = random_simplex();
+
+    const CategoryVector smt_i = m.predict(st_i, st_j);
+    const CategoryVector smt_j = m.predict(st_j, st_i);
+    const double si = smt_i[0] + smt_i[1] + smt_i[2];
+    const double sj = smt_j[0] + smt_j[1] + smt_j[2];
+    const CategoryVector fi = {smt_i[0] / si, smt_i[1] / si, smt_i[2] / si};
+    const CategoryVector fj = {smt_j[0] / sj, smt_j[1] / sj, smt_j[2] / sj};
+
+    const ModelInverter inverter(m);
+    const InversionResult r = inverter.invert(fi, fj);
+    ASSERT_TRUE(r.converged);
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+        EXPECT_NEAR(r.st_i[c], st_i[c], 0.02) << "category " << c;
+        EXPECT_NEAR(r.st_j[c], st_j[c], 0.02) << "category " << c;
+    }
+    EXPECT_NEAR(r.slowdown_i, si, 0.05);
+    EXPECT_NEAR(r.slowdown_j, sj, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, InversionRoundTrip, ::testing::Range(0, 20));
+
+TEST(Inversion, EstimatesStayOnSimplex) {
+    const ModelInverter inverter(InterferenceModel::paper_table4());
+    const InversionResult r = inverter.invert({0.1, 0.3, 0.6}, {0.2, 0.1, 0.7});
+    const double si = r.st_i[0] + r.st_i[1] + r.st_i[2];
+    const double sj = r.st_j[0] + r.st_j[1] + r.st_j[2];
+    EXPECT_NEAR(si, 1.0, 1e-6);
+    EXPECT_NEAR(sj, 1.0, 1e-6);
+    for (double x : r.st_i) EXPECT_GE(x, 0.0);
+    for (double x : r.st_j) EXPECT_GE(x, 0.0);
+}
+
+TEST(Inversion, DegenerateInputFallsBackGracefully) {
+    const ModelInverter inverter(InterferenceModel::paper_table4());
+    const InversionResult r = inverter.invert({0, 0, 0}, {0, 0, 0});
+    const double si = r.st_i[0] + r.st_i[1] + r.st_i[2];
+    EXPECT_NEAR(si, 1.0, 1e-6);  // projected, never NaN
+    EXPECT_TRUE(std::isfinite(r.slowdown_i));
+}
+
+// ---------- trainer ----------
+
+uarch::SimConfig train_config() {
+    uarch::SimConfig cfg;
+    cfg.cycles_per_quantum = 5'000;
+    return cfg;
+}
+
+TEST(Trainer, IsolatedProfileInterpolation) {
+    const IsolatedProfile prof =
+        profile_isolated(apps::find_app("nab_r"), train_config(), 10, 3);
+    EXPECT_EQ(prof.quanta().size(), 10u);
+    EXPECT_GT(prof.total_instructions(), 0u);
+    EXPECT_GT(prof.ipc(), 0.0);
+
+    const std::uint64_t n = prof.total_instructions();
+    EXPECT_TRUE(prof.covers(0, n));
+    EXPECT_FALSE(prof.covers(0, n + 1));
+    EXPECT_FALSE(prof.covers(5, 5));
+
+    // Cycles are additive over adjacent ranges.
+    const double whole = prof.cycles_for(0, n);
+    const double split = prof.cycles_for(0, n / 2) + prof.cycles_for(n / 2, n);
+    EXPECT_NEAR(whole, split, 1e-6);
+    EXPECT_NEAR(whole, static_cast<double>(prof.total_cycles()), 1.0);
+
+    // Categories are additive too, and fractions normalize.
+    const auto cats = prof.categories_for(0, n);
+    EXPECT_NEAR(cats[0] + cats[1] + cats[2], whole, 1.0);
+    const auto f = prof.overall_fractions();
+    EXPECT_NEAR(f[0] + f[1] + f[2], 1.0, 1e-9);
+}
+
+TEST(Trainer, PairSamplesAreWellFormed) {
+    const uarch::SimConfig cfg = train_config();
+    TrainerOptions opts;
+    opts.isolated_quanta = 30;
+    opts.pair_quanta = 10;
+    const Trainer trainer(cfg, opts);
+    const auto& a = apps::find_app("mcf");
+    const auto& b = apps::find_app("nab_r");
+    const auto pa = profile_isolated(a, cfg, 30, 100);
+    const auto pb = profile_isolated(b, cfg, 30, 200);
+    const auto samples = trainer.collect_pair_samples(a, b, pa, pb, 100, 200);
+    ASSERT_GT(samples.size(), 4u);
+    for (const TrainingSample& s : samples) {
+        const double st_sum = s.st_self[0] + s.st_self[1] + s.st_self[2];
+        EXPECT_NEAR(st_sum, 1.0, 0.05);  // isolated fractions
+        const double slowdown = s.smt_per_st[0] + s.smt_per_st[1] + s.smt_per_st[2];
+        EXPECT_GT(slowdown, 0.9);   // SMT cannot be much faster than isolated
+        EXPECT_LT(slowdown, 4.0);   // and contention is bounded
+    }
+}
+
+TEST(Trainer, FitRejectsTooFewSamples) {
+    EXPECT_THROW(Trainer::fit({}, TrainerOptions{}), std::runtime_error);
+}
+
+TEST(Trainer, SmallTrainingRunProducesSaneModel) {
+    TrainerOptions opts;
+    opts.isolated_quanta = 24;
+    opts.pair_quanta = 10;
+    opts.threads = 1;
+    const std::vector<std::string> apps = {"mcf", "nab_r", "gobmk", "bwaves"};
+    const TrainingResult r = Trainer(train_config(), opts).train(apps);
+    EXPECT_EQ(r.pair_runs, 10u);  // C(4,2) + 4 self-pairs
+    EXPECT_GT(r.sample_count, 20u);
+    EXPECT_EQ(r.profiles.size(), 4u);
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+        // Own-behaviour must dominate each category.
+        EXPECT_GT(r.model.coefficients(static_cast<Category>(c)).beta, 0.5);
+        EXPECT_LT(r.mse[c], 0.2);
+    }
+}
+
+// ---------- extended (ablation) characterization ----------
+
+TEST(Extended, CategoriesSumToCycles) {
+    uarch::SimConfig cfg = train_config();
+    uarch::Chip chip(cfg);
+    apps::AppInstance t(1, apps::find_app("leela_r"), 4);
+    chip.bind(t, {.core = 0, .slot = 0});
+    for (int q = 0; q < 4; ++q) chip.run_quantum();
+    const ExtendedVector v = characterize_extended(t.counters(), cfg);
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    EXPECT_NEAR(sum, static_cast<double>(t.counters().value(pmu::Event::kCpuCycles)), 1e-6);
+}
+
+TEST(Extended, RefinesTheCoarseCategories) {
+    uarch::SimConfig cfg = train_config();
+    uarch::Chip chip(cfg);
+    apps::AppInstance t(1, apps::find_app("mcf"), 4);
+    chip.bind(t, {.core = 0, .slot = 0});
+    for (int q = 0; q < 4; ++q) chip.run_quantum();
+    const ExtendedVector v = characterize_extended(t.counters(), cfg);
+    const auto coarse = characterize(t.counters(), cfg.dispatch_width);
+    EXPECT_NEAR(v[0], coarse.categories[0], 1e-6);                    // full dispatch
+    EXPECT_NEAR(v[1] + v[2], coarse.categories[1], 1e-6);             // FE split
+    EXPECT_NEAR(v[3] + v[4] + v[5] + v[6] + v[7], coarse.categories[2], 1e-6);  // BE split
+}
+
+TEST(Extended, ProfileRunsEndToEnd) {
+    const ExtendedProfile p =
+        profile_isolated_extended(apps::find_app("bwaves"), train_config(), 6, 9);
+    EXPECT_EQ(p.quanta.size(), 6u);
+    EXPECT_GT(p.quanta.back().insts_end, 0u);
+}
+
+}  // namespace

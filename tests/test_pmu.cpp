@@ -1,0 +1,136 @@
+// Tests for the PMU substrate: event metadata, counter banks, and the
+// perf-like per-task session semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pmu/counters.hpp"
+#include "pmu/events.hpp"
+#include "pmu/perf_session.hpp"
+
+namespace {
+
+using namespace synpa::pmu;
+
+TEST(Events, NamesAreUniqueAndNonEmpty) {
+    std::set<std::string_view> names;
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+        const auto name = event_name(static_cast<Event>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown");
+        EXPECT_TRUE(names.insert(name).second) << name;
+    }
+}
+
+TEST(Events, TableOneEventsPresent) {
+    EXPECT_EQ(event_name(Event::kCpuCycles), "cpu_cycles");
+    EXPECT_EQ(event_name(Event::kInstSpec), "inst_spec");
+    EXPECT_EQ(event_name(Event::kStallFrontend), "stall_frontend");
+    EXPECT_EQ(event_name(Event::kStallBackend), "stall_backend");
+    EXPECT_EQ(kSynpaEvents.size(), 4u);
+}
+
+TEST(Events, DescriptionsMatchTableOneWording) {
+    EXPECT_EQ(event_description(Event::kCpuCycles), "Cycles");
+    EXPECT_NE(event_description(Event::kStallFrontend).find("no operation"),
+              std::string_view::npos);
+}
+
+TEST(CounterBank, IncrementAndRead) {
+    CounterBank b;
+    EXPECT_EQ(b.value(Event::kCpuCycles), 0u);
+    b.increment(Event::kCpuCycles);
+    b.increment(Event::kInstSpec, 10);
+    EXPECT_EQ(b.value(Event::kCpuCycles), 1u);
+    EXPECT_EQ(b.value(Event::kInstSpec), 10u);
+}
+
+TEST(CounterBank, DeltaSince) {
+    CounterBank a, b;
+    a.increment(Event::kCpuCycles, 100);
+    b = a;
+    a.increment(Event::kCpuCycles, 50);
+    a.increment(Event::kStallBackend, 7);
+    const CounterBank d = a.delta_since(b);
+    EXPECT_EQ(d.value(Event::kCpuCycles), 50u);
+    EXPECT_EQ(d.value(Event::kStallBackend), 7u);
+    EXPECT_EQ(d.value(Event::kInstSpec), 0u);
+}
+
+TEST(CounterBank, ResetAndAccumulate) {
+    CounterBank a, b;
+    a.increment(Event::kBrMisPred, 3);
+    b.increment(Event::kBrMisPred, 4);
+    a += b;
+    EXPECT_EQ(a.value(Event::kBrMisPred), 7u);
+    a.reset();
+    EXPECT_EQ(a.value(Event::kBrMisPred), 0u);
+}
+
+/// Test double for the chip.
+class FakeSource final : public CounterSource {
+public:
+    CounterBank task_counters(int task_id) const override {
+        const auto it = banks.find(task_id);
+        if (it == banks.end()) throw std::logic_error("unknown task");
+        return it->second;
+    }
+    std::map<int, CounterBank> banks;
+};
+
+TEST(PerfSession, AttachReadDeltaSemantics) {
+    FakeSource src;
+    src.banks[1].increment(Event::kCpuCycles, 1000);
+    PerfSession session(src);
+    session.attach(1);
+    src.banks[1].increment(Event::kCpuCycles, 500);
+    const CounterBank d1 = session.read(1);
+    EXPECT_EQ(d1.value(Event::kCpuCycles), 500u);
+    const CounterBank d2 = session.read(1);
+    EXPECT_EQ(d2.value(Event::kCpuCycles), 0u);  // snapshot advanced
+}
+
+TEST(PerfSession, PeekDoesNotAdvance) {
+    FakeSource src;
+    src.banks[1];
+    PerfSession session(src);
+    session.attach(1);
+    src.banks[1].increment(Event::kInstSpec, 42);
+    EXPECT_EQ(session.peek(1).value(Event::kInstSpec), 42u);
+    EXPECT_EQ(session.read(1).value(Event::kInstSpec), 42u);
+}
+
+TEST(PerfSession, EventFilterRestrictsReads) {
+    FakeSource src;
+    src.banks[1].increment(Event::kCpuCycles, 5);
+    src.banks[1].increment(Event::kBrMisPred, 5);
+    PerfSession session(src, {Event::kCpuCycles});
+    session.attach(1);
+    src.banks[1].increment(Event::kCpuCycles, 5);
+    src.banks[1].increment(Event::kBrMisPred, 5);
+    const CounterBank d = session.read(1);
+    EXPECT_EQ(d.value(Event::kCpuCycles), 5u);
+    EXPECT_EQ(d.value(Event::kBrMisPred), 0u);  // filtered out
+}
+
+TEST(PerfSession, UnattachedTaskThrows) {
+    FakeSource src;
+    PerfSession session(src);
+    EXPECT_THROW(session.read(9), std::runtime_error);
+    EXPECT_THROW(session.peek(9), std::runtime_error);
+    EXPECT_FALSE(session.attached(9));
+}
+
+TEST(PerfSession, DetachForgetsSnapshot) {
+    FakeSource src;
+    src.banks[1];
+    PerfSession session(src);
+    session.attach(1);
+    EXPECT_TRUE(session.attached(1));
+    session.detach(1);
+    EXPECT_FALSE(session.attached(1));
+    EXPECT_THROW(session.read(1), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,264 @@
+// Tests for the simulator substrate: cache-sharing math, the DRAM queue,
+// configuration, and chip-level invariants (counter identities, determinism,
+// SMT slowdown, migration warmup, fetch-port contention).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "apps/instance.hpp"
+#include "apps/spec_suite.hpp"
+#include "model/categories.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/chip.hpp"
+#include "uarch/memory.hpp"
+#include "uarch/sim_config.hpp"
+
+namespace {
+
+using namespace synpa;
+using namespace synpa::uarch;
+
+// ---------- cache model ----------
+
+TEST(Cache, ProportionalSharesSumToCapacity) {
+    const std::vector<double> fp = {1.0, 3.0};
+    const auto shares = proportional_shares(8.0, fp);
+    EXPECT_DOUBLE_EQ(shares[0], 2.0);
+    EXPECT_DOUBLE_EQ(shares[1], 6.0);
+}
+
+TEST(Cache, ZeroFootprintsGetFullCapacity) {
+    const std::vector<double> fp = {0.0, 0.0};
+    const auto shares = proportional_shares(8.0, fp);
+    EXPECT_DOUBLE_EQ(shares[0], 8.0);
+    EXPECT_DOUBLE_EQ(shares[1], 8.0);
+}
+
+TEST(Cache, NegativeFootprintThrows) {
+    const std::vector<double> fp = {-1.0};
+    EXPECT_THROW(proportional_shares(8.0, fp), std::invalid_argument);
+}
+
+TEST(Cache, CoverageBounds) {
+    EXPECT_DOUBLE_EQ(coverage(32.0, 16.0), 1.0);  // fits fully
+    EXPECT_DOUBLE_EQ(coverage(16.0, 32.0), 0.5);
+    EXPECT_DOUBLE_EQ(coverage(16.0, 0.0), 1.0);  // no footprint
+    EXPECT_GT(coverage(0.0, 32.0), 0.0);         // floored, not zero
+}
+
+TEST(Cache, MissMultiplierMonotoneInCoverage) {
+    const double m_full = miss_multiplier(1.0, 0.85, 3.0);
+    const double m_half = miss_multiplier(0.5, 0.85, 3.0);
+    const double m_tiny = miss_multiplier(0.05, 0.85, 3.0);
+    EXPECT_DOUBLE_EQ(m_full, 1.0);
+    EXPECT_GT(m_half, m_full);
+    EXPECT_GT(m_tiny, m_half);
+    EXPECT_LE(m_tiny, 3.0);  // capped
+}
+
+TEST(Cache, SharedMultiplierIndexChecked) {
+    const std::vector<double> fp = {1.0, 1.0};
+    EXPECT_THROW(shared_cache_miss_multiplier(8.0, fp, 5, 0.85, 3.0), std::out_of_range);
+    EXPECT_GE(shared_cache_miss_multiplier(8.0, fp, 0, 0.85, 3.0), 1.0);
+}
+
+// ---------- memory system ----------
+
+TEST(Memory, IdleKeepsFactorAtOne) {
+    SimConfig cfg;
+    MemorySystem mem(cfg);
+    mem.end_quantum(0, 10'000);
+    EXPECT_DOUBLE_EQ(mem.queue_factor(), 1.0);
+}
+
+TEST(Memory, SaturationRaisesAndCapsFactor) {
+    SimConfig cfg;
+    MemorySystem mem(cfg);
+    for (int i = 0; i < 20; ++i)
+        mem.end_quantum(static_cast<std::uint64_t>(10'000 * cfg.mem_bw_accesses_per_cycle * 5),
+                        10'000);
+    EXPECT_GE(mem.queue_factor(), 1.4);
+    EXPECT_LE(mem.queue_factor(), cfg.mem_queue_factor_cap);
+}
+
+TEST(Memory, ResetRestoresBaseline) {
+    SimConfig cfg;
+    MemorySystem mem(cfg);
+    mem.end_quantum(100'000, 10'000);
+    mem.reset();
+    EXPECT_DOUBLE_EQ(mem.queue_factor(), 1.0);
+}
+
+// ---------- configuration ----------
+
+TEST(Config, TableTwoDefaults) {
+    const SimConfig cfg;
+    EXPECT_EQ(cfg.dispatch_width, 4);
+    EXPECT_EQ(cfg.rob_size, 128);
+    EXPECT_EQ(cfg.iq_size, 60);
+    EXPECT_EQ(cfg.load_buffer, 64);
+    EXPECT_EQ(cfg.store_buffer, 36);
+    EXPECT_DOUBLE_EQ(cfg.l1i_kb, 32.0);
+    EXPECT_DOUBLE_EQ(cfg.l2_kb, 256.0);
+    EXPECT_DOUBLE_EQ(cfg.llc_mb, 28.0);
+    EXPECT_EQ(cfg.smt_ways, 2);
+}
+
+TEST(Config, RobShareHalvesUnderSmt) {
+    const SimConfig cfg;
+    EXPECT_EQ(cfg.rob_share(false), 128);
+    EXPECT_EQ(cfg.rob_share(true), 64);
+}
+
+TEST(Config, EnvOverride) {
+    ::setenv("SYNPA_QUANTUM_CYCLES", "12345", 1);
+    const SimConfig cfg = SimConfig::from_env();
+    EXPECT_EQ(cfg.cycles_per_quantum, 12345u);
+    ::unsetenv("SYNPA_QUANTUM_CYCLES");
+}
+
+TEST(Config, FingerprintSensitivity) {
+    SimConfig a, b;
+    EXPECT_EQ(config_fingerprint(a), config_fingerprint(b));
+    b.mem_latency += 1;
+    EXPECT_NE(config_fingerprint(a), config_fingerprint(b));
+    b = a;
+    b.cycles_per_quantum += 1;
+    EXPECT_NE(config_fingerprint(a), config_fingerprint(b));
+}
+
+// ---------- chip ----------
+
+SimConfig small_config(int cores = 1) {
+    SimConfig cfg;
+    cfg.cores = cores;
+    cfg.cycles_per_quantum = 5'000;
+    return cfg;
+}
+
+TEST(Chip, BindUnbindLifecycle) {
+    Chip chip(small_config());
+    apps::AppInstance t(1, apps::find_app("mcf"), 1);
+    chip.bind(t, {.core = 0, .slot = 0});
+    EXPECT_TRUE(chip.is_bound(1));
+    EXPECT_EQ(chip.placement(1).core, 0);
+    EXPECT_EQ(chip.bound_tasks().size(), 1u);
+    chip.unbind(1);
+    EXPECT_FALSE(chip.is_bound(1));
+    EXPECT_THROW(chip.placement(1), std::logic_error);
+}
+
+TEST(Chip, BindErrors) {
+    Chip chip(small_config());
+    apps::AppInstance a(1, apps::find_app("mcf"), 1);
+    apps::AppInstance b(2, apps::find_app("lbm_r"), 2);
+    EXPECT_THROW(chip.bind(a, {.core = 5, .slot = 0}), std::out_of_range);
+    chip.bind(a, {.core = 0, .slot = 0});
+    EXPECT_THROW(chip.bind(a, {.core = 0, .slot = 1}), std::logic_error);  // double bind
+    EXPECT_THROW(chip.bind(b, {.core = 0, .slot = 0}), std::logic_error);  // occupied
+    EXPECT_THROW(chip.unbind(99), std::logic_error);
+}
+
+TEST(Chip, CycleAccountingIdentity) {
+    // CPU_CYCLES must exactly equal full-dispatch + frontend + backend after
+    // the three-step characterization, for any application.
+    for (const char* app : {"mcf", "leela_r", "nab_r", "perlbench"}) {
+        Chip chip(small_config());
+        apps::AppInstance t(1, apps::find_app(app), 7);
+        chip.bind(t, {.core = 0, .slot = 0});
+        for (int q = 0; q < 5; ++q) chip.run_quantum();
+        const auto b = model::characterize(t.counters(), 4);
+        const double sum = b.categories[0] + b.categories[1] + b.categories[2];
+        EXPECT_NEAR(sum, static_cast<double>(b.cycles), 1e-6) << app;
+        EXPECT_EQ(b.cycles, chip.config().cycles_per_quantum * 5);
+    }
+}
+
+TEST(Chip, DeterministicAcrossRuns) {
+    auto run = [] {
+        Chip chip(small_config());
+        apps::AppInstance t(1, apps::find_app("leela_r"), 99);
+        chip.bind(t, {.core = 0, .slot = 0});
+        for (int q = 0; q < 4; ++q) chip.run_quantum();
+        return t.counters();
+    };
+    const auto a = run();
+    const auto b = run();
+    for (std::size_t i = 0; i < pmu::kEventCount; ++i) {
+        const auto e = static_cast<pmu::Event>(i);
+        EXPECT_EQ(a.value(e), b.value(e)) << pmu::event_name(e);
+    }
+}
+
+TEST(Chip, SmtSlowsBothThreadsDown) {
+    // Any co-runner must cost some throughput vs isolated execution.
+    auto isolated_ipc = [](const char* app) {
+        Chip chip(small_config());
+        apps::AppInstance t(1, apps::find_app(app), 5);
+        chip.bind(t, {.core = 0, .slot = 0});
+        for (int q = 0; q < 6; ++q) chip.run_quantum();
+        return model::characterize(t.counters(), 4).ipc();
+    };
+    Chip chip(small_config());
+    apps::AppInstance a(1, apps::find_app("mcf"), 5);
+    apps::AppInstance b(2, apps::find_app("milc"), 6);
+    chip.bind(a, {.core = 0, .slot = 0});
+    chip.bind(b, {.core = 0, .slot = 1});
+    for (int q = 0; q < 6; ++q) chip.run_quantum();
+    EXPECT_LT(model::characterize(a.counters(), 4).ipc(), isolated_ipc("mcf"));
+    EXPECT_LT(model::characterize(b.counters(), 4).ipc(), isolated_ipc("milc"));
+}
+
+TEST(Chip, MigrationTriggersWarmup) {
+    Chip chip(small_config(2));
+    apps::AppInstance t(1, apps::find_app("mcf"), 5);
+    chip.bind(t, {.core = 0, .slot = 0});
+    chip.run_quantum();
+    chip.unbind(1);
+    chip.bind(t, {.core = 1, .slot = 0});  // different core -> cold caches
+    EXPECT_GT(t.warmup_multiplier(), 1.0);
+}
+
+TEST(Chip, SameCoreRebindIsFree) {
+    Chip chip(small_config(2));
+    apps::AppInstance t(1, apps::find_app("mcf"), 5);
+    chip.bind(t, {.core = 0, .slot = 0});
+    chip.run_quantum();
+    chip.unbind(1);
+    chip.bind(t, {.core = 0, .slot = 1});  // same core, other SMT slot
+    EXPECT_DOUBLE_EQ(t.warmup_multiplier(), 1.0);
+}
+
+TEST(Chip, FrontendPairContention) {
+    // Two frontend-hungry applications sharing the fetch port must stall
+    // more on the frontend than one of them does next to a mostly-stalled
+    // memory-bound thread.
+    auto frontend_fraction = [](const char* partner) {
+        SimConfig cfg = small_config();
+        Chip chip(cfg);
+        apps::AppInstance a(1, apps::find_app("gobmk"), 3);
+        apps::AppInstance b(2, apps::find_app(partner), 4);
+        chip.bind(a, {.core = 0, .slot = 0});
+        chip.bind(b, {.core = 0, .slot = 1});
+        for (int q = 0; q < 8; ++q) chip.run_quantum();
+        return model::characterize(a.counters(), 4).fractions()[1];
+    };
+    EXPECT_GT(frontend_fraction("gobmk"), frontend_fraction("mcf"));
+}
+
+TEST(Chip, QuantaAndCyclesAdvance) {
+    Chip chip(small_config());
+    apps::AppInstance t(1, apps::find_app("nab_r"), 1);
+    chip.bind(t, {.core = 0, .slot = 0});
+    chip.run_quantum();
+    chip.run_quantum();
+    EXPECT_EQ(chip.quanta_elapsed(), 2u);
+    EXPECT_EQ(chip.now(), 2 * chip.config().cycles_per_quantum);
+}
+
+TEST(Chip, TaskCountersThrowOnUnknown) {
+    Chip chip(small_config());
+    EXPECT_THROW(chip.task_counters(3), std::logic_error);
+}
+
+}  // namespace
