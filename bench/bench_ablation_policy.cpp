@@ -2,16 +2,14 @@
 //   * pair selector: Blossom (paper) vs exact subset DP vs greedy,
 //   * hysteresis: on (default) vs off (re-solve every quantum),
 //   * baselines: Linux, Random, Oracle (true phase categories).
+//
+// One campaign: 3 workloads x 7 policy columns; the trained model and the
+// oracle's phase calibration are shared artifacts resolved once.
 #include <iostream>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
-#include "core/synpa_policy.hpp"
-#include "model/trainer.hpp"
-#include "sched/baselines.hpp"
-#include "workloads/groups.hpp"
-#include "workloads/methodology.hpp"
 
 int main() {
     using namespace synpa;
@@ -22,51 +20,62 @@ int main() {
     workloads::MethodologyOptions opts = bench::default_methodology();
     opts.reps = std::min(opts.reps, 2);
 
-    model::TrainerOptions topts;
-    topts.seed = opts.seed;
-    std::cout << "training the interference model...\n";
-    const model::TrainingResult trained =
-        model::Trainer(cfg, topts).train(workloads::training_apps());
-    workloads::calibrate_suite(cfg, 30, opts.seed);
-
-    struct Variant {
-        std::string label;
-        workloads::PolicyFactory factory;
-    };
-    auto synpa_with = [&](core::PairSelector sel, bool hysteresis) {
+    const auto synpa_with = [](std::string label, core::PairSelector sel, bool hysteresis) {
         core::SynpaPolicy::Options o;
         o.selector = sel;
         if (!hysteresis) {
             o.stability_bias = 0.0;
             o.keep_threshold = 0.0;
         }
-        return [&trained, o](std::uint64_t) {
-            return std::make_unique<core::SynpaPolicy>(trained.model, o);
-        };
-    };
-    const std::vector<Variant> variants = {
-        {"linux", [](std::uint64_t) { return std::make_unique<sched::LinuxPolicy>(); }},
-        {"random",
-         [](std::uint64_t s) { return std::make_unique<sched::RandomPolicy>(s); }},
-        {"oracle",
-         [&](std::uint64_t) { return std::make_unique<sched::OraclePolicy>(trained.model); }},
-        {"synpa (blossom)", synpa_with(core::PairSelector::kBlossom, true)},
-        {"synpa (subset-dp)", synpa_with(core::PairSelector::kSubsetDp, true)},
-        {"synpa (greedy)", synpa_with(core::PairSelector::kGreedy, true)},
-        {"synpa (no hysteresis)", synpa_with(core::PairSelector::kBlossom, false)},
+        return exp::PolicySpec{
+            std::move(label), [o](const exp::ArtifactSet& artifacts, std::uint64_t) {
+                return std::make_unique<core::SynpaPolicy>(artifacts.training->model, o);
+            }};
     };
 
-    for (const auto& spec :
-         {workloads::paper_be1(), workloads::paper_fe2(), workloads::paper_fb2()}) {
+    exp::Campaign campaign;
+    campaign.name = "ablation-policy";
+    campaign.configs = {cfg};
+    campaign.workloads = {workloads::paper_be1(), workloads::paper_fe2(),
+                          workloads::paper_fb2()};
+    campaign.policies = {
+        bench::linux_policy(),
+        {"random",
+         [](const exp::ArtifactSet&, std::uint64_t s) {
+             return std::make_unique<sched::RandomPolicy>(s);
+         }},
+        {"oracle",
+         [](const exp::ArtifactSet& artifacts, std::uint64_t) {
+             return std::make_unique<sched::OraclePolicy>(artifacts.training->model);
+         }},
+        synpa_with("synpa (blossom)", core::PairSelector::kBlossom, true),
+        synpa_with("synpa (subset-dp)", core::PairSelector::kSubsetDp, true),
+        synpa_with("synpa (greedy)", core::PairSelector::kGreedy, true),
+        synpa_with("synpa (no hysteresis)", core::PairSelector::kBlossom, false),
+    };
+    campaign.methodology = opts;
+    campaign.methodology.record_traces = false;  // only scalar run fields are read
+    campaign.needs_training = true;
+    campaign.trainer = bench::default_trainer(opts);
+    campaign.needs_calibration = true;  // the oracle reads true phase categories
+
+    std::cout << "campaign: 3 workloads x " << campaign.policies.size() << " policies x "
+              << opts.reps << " reps...\n";
+    bench::EnvExports exports;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    const exp::CampaignResult result = runner.run(campaign, exports.with());
+
+    for (const auto& spec : campaign.workloads) {
         std::cout << "\n=== workload " << spec.name << " ===\n";
         common::Table table(
             {"policy", "TT (quanta)", "TT speedup vs linux", "fairness", "migr/quantum"});
-        double linux_tt = 0.0;
-        for (const auto& v : variants) {
-            const auto r = workloads::run_workload(spec, cfg, v.factory, opts);
-            if (v.label == "linux") linux_tt = r.mean_metrics.turnaround_quanta;
+        const double linux_tt =
+            result.find(spec.name, "linux")->result.mean_metrics.turnaround_quanta;
+        for (const auto& policy : campaign.policies) {
+            const exp::CellResult* cell = result.find(spec.name, policy.label);
+            const workloads::RepeatedResult& r = cell->result;
             table.row()
-                .add(v.label)
+                .add(policy.label)
                 .add(r.mean_metrics.turnaround_quanta, 1)
                 .add(linux_tt > 0.0 ? linux_tt / r.mean_metrics.turnaround_quanta : 0.0, 3)
                 .add(r.mean_metrics.fairness, 3)

@@ -4,18 +4,17 @@
 //
 // Paper reference shape: backend-intensive ~ +18%, frontend-intensive
 // ~ +8%, mixed ~ +36% (up to +55% on fb2); mixed > backend > frontend.
+//
+// The whole evaluation is one declarative campaign: the engine trains the
+// interference model once (memoized in the ArtifactCache), expands the
+// paper's twenty workloads, and runs every (workload, policy, rep) cell in
+// parallel; the paired-speedup aggregator receives cells in grid order.
 #include <iostream>
 #include <map>
-#include <memory>
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/synpa_policy.hpp"
-#include "model/trainer.hpp"
-#include "sched/baselines.hpp"
-#include "workloads/groups.hpp"
-#include "workloads/methodology.hpp"
 
 int main() {
     using namespace synpa;
@@ -25,30 +24,16 @@ int main() {
     const uarch::SimConfig cfg = uarch::SimConfig::from_env();
     const workloads::MethodologyOptions opts = bench::default_methodology();
 
-    // Train the model once (paper §IV-C: train once, reuse everywhere).
-    model::TrainerOptions topts;
-    topts.seed = opts.seed;
-    topts.pair_quanta =
-        static_cast<std::uint64_t>(common::env_int("SYNPA_BENCH_TRAIN_PAIR_QUANTA", 36));
-    std::cout << "training the interference model on 22 applications...\n";
-    const model::TrainingResult trained =
-        model::Trainer(cfg, topts).train(workloads::training_apps());
+    exp::Campaign campaign = bench::paper_eval_campaign(cfg, opts);
+    campaign.name = "fig5-turnaround";
 
-    const auto chars = workloads::characterize_suite(cfg, bench::characterization_quanta(),
-                                                     opts.seed);
-    const auto specs = workloads::paper_workloads(chars, opts.seed);
-
-    const workloads::PolicyFactory make_linux = [](std::uint64_t) {
-        return std::make_unique<sched::LinuxPolicy>();
-    };
-    const workloads::PolicyFactory make_synpa = [&](std::uint64_t) {
-        return std::make_unique<core::SynpaPolicy>(trained.model);
-    };
-
-    std::cout << "running " << specs.size() << " workloads x 2 policies x " << opts.reps
-              << " reps...\n\n";
-    const auto comparisons =
-        workloads::compare_policies(specs, cfg, make_linux, make_synpa, opts);
+    std::cout << "campaign: 20 workloads x 2 policies x " << opts.reps
+              << " reps (training memoized)...\n\n";
+    exp::PairedSpeedupAggregator paired("linux");
+    bench::EnvExports exports;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    runner.run(campaign, exports.with({&paired}));
+    const auto comparisons = paired.comparisons("synpa");
 
     const std::map<std::string, double> paper_group_ref = {
         {"be", 1.18}, {"fe", 1.08}, {"fb", 1.36}};

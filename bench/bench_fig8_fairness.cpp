@@ -1,17 +1,14 @@
 // Reproduces Figure 8: fairness (1 - sigma/mu of the individual speedups)
 // of Linux vs SYNPA across the 20 workloads, with group averages.
+//
+// Runs the shared paper-eval campaign; the per-workload table comes from
+// the paired-speedup aggregator and the group table from a streaming
+// group-mean aggregator over the fairness metric.
 #include <iostream>
-#include <map>
-#include <memory>
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/synpa_policy.hpp"
-#include "model/trainer.hpp"
-#include "sched/baselines.hpp"
-#include "workloads/groups.hpp"
-#include "workloads/methodology.hpp"
 
 int main() {
     using namespace synpa;
@@ -20,31 +17,20 @@ int main() {
     const uarch::SimConfig cfg = uarch::SimConfig::from_env();
     const workloads::MethodologyOptions opts = bench::default_methodology();
 
-    model::TrainerOptions topts;
-    topts.seed = opts.seed;
-    std::cout << "training the interference model...\n";
-    const model::TrainingResult trained =
-        model::Trainer(cfg, topts).train(workloads::training_apps());
-    const auto chars = workloads::characterize_suite(cfg, bench::characterization_quanta(),
-                                                     opts.seed);
-    const auto specs = workloads::paper_workloads(chars, opts.seed);
+    exp::Campaign campaign = bench::paper_eval_campaign(cfg, opts);
+    campaign.name = "fig8-fairness";
 
-    const workloads::PolicyFactory make_linux = [](std::uint64_t) {
-        return std::make_unique<sched::LinuxPolicy>();
-    };
-    const workloads::PolicyFactory make_synpa = [&](std::uint64_t) {
-        return std::make_unique<core::SynpaPolicy>(trained.model);
-    };
-    std::cout << "running " << specs.size() << " workloads x 2 policies x " << opts.reps
-              << " reps...\n\n";
-    const auto rows = workloads::compare_policies(specs, cfg, make_linux, make_synpa, opts);
+    std::cout << "campaign: 20 workloads x 2 policies x " << opts.reps
+              << " reps (training memoized)...\n\n";
+    exp::PairedSpeedupAggregator paired("linux");
+    exp::GroupMeanAggregator group_fairness(
+        [](const exp::CellResult& cell) { return cell.result.mean_metrics.fairness; });
+    bench::EnvExports exports;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    runner.run(campaign, exports.with({&paired, &group_fairness}));
 
     common::Table table({"workload", "fairness linux", "fairness synpa", "delta"});
-    std::map<std::string, std::vector<double>> by_group_linux, by_group_synpa;
-    for (const auto& r : rows) {
-        const std::string group = r.workload.substr(0, 2);
-        by_group_linux[group].push_back(r.baseline.fairness);
-        by_group_synpa[group].push_back(r.treatment.fairness);
+    for (const auto& r : paired.comparisons("synpa")) {
         table.row()
             .add(r.workload)
             .add(r.baseline.fairness, 3)
@@ -54,15 +40,15 @@ int main() {
     table.print(std::cout);
 
     common::Table avg({"group", "linux", "synpa"});
-    std::vector<double> all_linux, all_synpa;
-    for (const auto& [group, values] : by_group_linux) {
-        avg.row().add(group).add(common::mean(values), 3).add(
-            common::mean(by_group_synpa[group]), 3);
-        all_linux.insert(all_linux.end(), values.begin(), values.end());
-        const auto& s = by_group_synpa[group];
-        all_synpa.insert(all_synpa.end(), s.begin(), s.end());
+    common::RunningStats all_linux, all_synpa;
+    for (const auto& group : group_fairness.group_order()) {
+        const auto& linux_stats = group_fairness.groups().at({"linux", group});
+        const auto& synpa_stats = group_fairness.groups().at({"synpa", group});
+        avg.row().add(group).add(linux_stats.mean(), 3).add(synpa_stats.mean(), 3);
+        all_linux.merge(linux_stats);
+        all_synpa.merge(synpa_stats);
     }
-    avg.row().add("avg").add(common::mean(all_linux), 3).add(common::mean(all_synpa), 3);
+    avg.row().add("avg").add(all_linux.mean(), 3).add(all_synpa.mean(), 3);
     avg.print(std::cout);
     std::cout << "paper reference: SYNPA is never less fair; the gap is largest on the\n"
                  "mixed workloads and smallest on the frontend-intensive ones.\n";

@@ -1,17 +1,12 @@
 // Reproduces Figure 9: IPC speedup (geometric mean of per-application IPCs)
-// of SYNPA over Linux across the 20 workloads.
+// of SYNPA over Linux across the 20 workloads, via the shared paper-eval
+// campaign.
 #include <iostream>
 #include <map>
-#include <memory>
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/synpa_policy.hpp"
-#include "model/trainer.hpp"
-#include "sched/baselines.hpp"
-#include "workloads/groups.hpp"
-#include "workloads/methodology.hpp"
 
 int main() {
     using namespace synpa;
@@ -20,29 +15,20 @@ int main() {
     const uarch::SimConfig cfg = uarch::SimConfig::from_env();
     const workloads::MethodologyOptions opts = bench::default_methodology();
 
-    model::TrainerOptions topts;
-    topts.seed = opts.seed;
-    std::cout << "training the interference model...\n";
-    const model::TrainingResult trained =
-        model::Trainer(cfg, topts).train(workloads::training_apps());
-    const auto chars = workloads::characterize_suite(cfg, bench::characterization_quanta(),
-                                                     opts.seed);
-    const auto specs = workloads::paper_workloads(chars, opts.seed);
+    exp::Campaign campaign = bench::paper_eval_campaign(cfg, opts);
+    campaign.name = "fig9-ipc";
 
-    const workloads::PolicyFactory make_linux = [](std::uint64_t) {
-        return std::make_unique<sched::LinuxPolicy>();
-    };
-    const workloads::PolicyFactory make_synpa = [&](std::uint64_t) {
-        return std::make_unique<core::SynpaPolicy>(trained.model);
-    };
-    std::cout << "running " << specs.size() << " workloads x 2 policies x " << opts.reps
-              << " reps...\n\n";
-    const auto rows = workloads::compare_policies(specs, cfg, make_linux, make_synpa, opts);
+    std::cout << "campaign: 20 workloads x 2 policies x " << opts.reps
+              << " reps (training memoized)...\n\n";
+    exp::PairedSpeedupAggregator paired("linux");
+    bench::EnvExports exports;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    runner.run(campaign, exports.with({&paired}));
 
     common::Table table(
         {"workload", "IPC linux", "IPC synpa", "IPC speedup", "TT speedup (context)"});
     std::map<std::string, std::vector<double>> by_group;
-    for (const auto& r : rows) {
+    for (const auto& r : paired.comparisons("synpa")) {
         by_group[r.workload.substr(0, 2)].push_back(r.ipc_speedup);
         table.row()
             .add(r.workload)

@@ -2,15 +2,15 @@
 // each application is scheduled with each other application, split by
 // whether it behaved frontend- or backend-dominant that quantum, plus the
 // "diff. group" synergistic-pair rate.
+//
+// A one-cell campaign (fb2 x synpa x 1 rep) whose exemplar run carries the
+// per-quantum traces the table is computed from; the trained model and the
+// suite characterization are shared artifacts.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
-#include "core/synpa_policy.hpp"
 #include "metrics/metrics.hpp"
-#include "model/trainer.hpp"
-#include "workloads/groups.hpp"
-#include "workloads/methodology.hpp"
 
 int main() {
     using namespace synpa;
@@ -20,23 +20,30 @@ int main() {
     workloads::MethodologyOptions opts = bench::default_methodology();
     opts.reps = 1;
 
-    model::TrainerOptions topts;
-    topts.seed = opts.seed;
-    std::cout << "training the interference model...\n";
-    const model::TrainingResult trained =
-        model::Trainer(cfg, topts).train(workloads::training_apps());
+    exp::Campaign campaign;
+    campaign.name = "table5-pairings";
+    campaign.configs = {cfg};
+    campaign.workloads = {workloads::paper_fb2()};
+    campaign.policies = {bench::synpa_policy()};
+    campaign.methodology = opts;
+    campaign.needs_training = true;
+    campaign.trainer = bench::default_trainer(opts);
+    campaign.needs_characterizations = true;  // static Table III slot groups
+    campaign.characterization_quanta = bench::characterization_quanta();
 
-    const workloads::WorkloadSpec spec = workloads::paper_fb2();
-    core::SynpaPolicy policy(trained.model);
-    const auto prepared = workloads::prepare_workload(spec, cfg, opts, 0);
-    const auto run = workloads::run_workload_once(prepared, cfg, policy, opts);
+    std::cout << "campaign: fb2 x synpa x 1 rep (training memoized)...\n";
+    bench::EnvExports exports;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    const exp::CampaignResult result = runner.run(campaign, exports.with());
+    const workloads::WorkloadSpec& spec = campaign.workloads.front();
+    const sched::RunResult& run = result.cells.front().result.exemplar;
 
-    // Static groups of each slot (Table III classification).
-    const auto chars = workloads::characterize_suite(cfg, bench::characterization_quanta(),
-                                                     opts.seed);
+    // Static groups of each slot (Table III classification), from the very
+    // characterization artifact the campaign resolved.
+    const auto& chars = result.artifacts.front().characterizations;
     std::vector<workloads::Group> slot_groups;
     for (const auto& app : spec.app_names)
-        for (const auto& c : chars)
+        for (const auto& c : *chars)
             if (c.name == app) slot_groups.push_back(c.group);
 
     const metrics::PairBehaviorStats stats = metrics::pair_behavior_stats(run, slot_groups);

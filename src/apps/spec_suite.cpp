@@ -19,6 +19,8 @@
 // take their documented defaults, and mono() fills in the phase name.
 #pragma GCC diagnostic ignored "-Wmissing-field-initializers" 
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -499,9 +501,34 @@ const AppProfile& find_app(std::string_view name) {
         return m;
     }();
     const auto it = index.find(name);
-    if (it == index.end())
-        throw std::out_of_range("find_app: unknown application '" + std::string(name) + "'");
-    return spec_suite()[it->second];
+    if (it != index.end()) return spec_suite()[it->second];
+
+    // "app:phase" pins a multi-phase suite application to one of its phases
+    // (pair_explorer and the pair campaigns use this to measure phase-level
+    // slowdown matrices).  Synthesized clones are cached so callers get a
+    // stable reference, like suite lookups.
+    const auto colon = name.find(':');
+    if (colon != std::string_view::npos) {
+        static std::map<std::string, AppProfile, std::less<>> pinned;
+        static std::mutex mutex;
+        const std::lock_guard lock(mutex);
+        const auto pit = pinned.find(name);
+        if (pit != pinned.end()) return pit->second;
+        const AppProfile& base = find_app(name.substr(0, colon));
+        const std::string_view phase = name.substr(colon + 1);
+        for (std::size_t p = 0; p < base.phases.size(); ++p) {
+            if (base.phases[p].name != phase) continue;
+            AppProfile clone;
+            clone.name = std::string(name);
+            clone.phases = {base.phases[p]};
+            if (p < base.phase_categories.size())
+                clone.phase_categories = {base.phase_categories[p]};
+            return pinned.emplace(std::string(name), std::move(clone)).first->second;
+        }
+        throw std::out_of_range("find_app: unknown phase '" + std::string(phase) + "' of " +
+                                base.name);
+    }
+    throw std::out_of_range("find_app: unknown application '" + std::string(name) + "'");
 }
 
 bool has_app(std::string_view name) {

@@ -28,6 +28,8 @@ namespace synpa::apps {
 std::vector<AppProfile>& spec_suite();
 
 /// Looks an application up by name; throws std::out_of_range when missing.
+/// "app:phase" resolves to a synthesized single-phase pin of a multi-phase
+/// suite application (e.g. "leela_r:search").
 const AppProfile& find_app(std::string_view name);
 
 /// True when `name` names one of the 28 suite applications.

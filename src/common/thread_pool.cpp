@@ -20,6 +20,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+    enqueue([task = std::move(task), this] {
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard lock(mutex_);
+            if (!first_exception_) first_exception_ = std::current_exception();
+        }
+    });
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
     {
         std::lock_guard lock(mutex_);
         tasks_.push(std::move(task));
@@ -30,6 +41,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
     std::unique_lock lock(mutex_);
     cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    if (first_exception_) {
+        const std::exception_ptr error = std::exchange(first_exception_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void ThreadPool::worker_loop() {
@@ -43,7 +59,7 @@ void ThreadPool::worker_loop() {
             tasks_.pop();
             ++in_flight_;
         }
-        task();
+        task();  // submit() wrapped this; it cannot throw
         {
             std::lock_guard lock(mutex_);
             --in_flight_;

@@ -5,14 +5,24 @@
 // simulator instances, so the benches fan them out over hardware threads.
 // On a single-core host the pool degrades gracefully to near-serial
 // execution with the same deterministic results (each task owns its RNG).
+//
+// Error handling: a task that throws does not terminate the process.  The
+// first exception is captured and rethrown from the next wait_idle() (and
+// therefore from parallel_for); later exceptions from the same batch are
+// dropped.  Tasks submitted through submit_waitable() instead deliver their
+// exception through the returned future.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace synpa::common {
@@ -28,13 +38,28 @@ public:
 
     std::size_t size() const noexcept { return workers_.size(); }
 
-    /// Enqueues a task for asynchronous execution.
+    /// Enqueues a task for asynchronous execution.  If the task throws, the
+    /// first such exception is rethrown by the next wait_idle().
     void submit(std::function<void()> task);
 
-    /// Blocks until every submitted task has finished.
+    /// Enqueues a task and returns a future carrying its result; exceptions
+    /// propagate through the future instead of wait_idle().
+    template <class F>
+    [[nodiscard]] std::future<std::invoke_result_t<F&>> submit_waitable(F task) {
+        using R = std::invoke_result_t<F&>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(std::move(task));
+        std::future<R> result = packaged->get_future();
+        enqueue([packaged] { (*packaged)(); });
+        return result;
+    }
+
+    /// Blocks until every submitted task has finished, then rethrows the
+    /// first exception captured from a plain submit() task (if any).  The
+    /// pool stays usable after the rethrow.
     void wait_idle();
 
 private:
+    void enqueue(std::function<void()> task);
     void worker_loop();
 
     std::vector<std::thread> workers_;
@@ -44,10 +69,12 @@ private:
     std::condition_variable cv_idle_;
     std::size_t in_flight_ = 0;
     bool stop_ = false;
+    std::exception_ptr first_exception_;
 };
 
-/// Runs fn(i) for i in [0, n) across a temporary pool and waits.
-/// Exceptions from tasks terminate (tasks are expected not to throw).
+/// Runs fn(i) for i in [0, n) across a temporary pool and waits.  If any
+/// invocation throws, the first exception is rethrown here after every task
+/// has drained.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

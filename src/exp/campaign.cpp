@@ -1,0 +1,248 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "metrics/metrics.hpp"
+#include "workloads/groups.hpp"
+
+namespace synpa::exp {
+namespace {
+
+/// The paper's repetition aggregation (§V-B): CV-based outlier discard on
+/// the turnaround samples, then averaging of the retained metrics.  This is
+/// the single implementation — workloads::run_workload goes through here.
+workloads::RepeatedResult aggregate_repetitions(
+    const workloads::WorkloadSpec& spec, std::vector<sched::RunResult> runs,
+    const std::vector<metrics::WorkloadMetrics>& run_metrics, double cv_limit) {
+    std::vector<double> tts;
+    tts.reserve(run_metrics.size());
+    for (const auto& m : run_metrics) tts.push_back(m.turnaround_quanta);
+    const std::vector<double> kept = common::discard_outliers_until_cv(tts, cv_limit);
+
+    workloads::RepeatedResult result;
+    result.workload = spec.name;
+    result.policy = runs.front().policy_name;
+    result.turnaround_samples = kept;
+
+    metrics::WorkloadMetrics mean{};
+    int used = 0;
+    for (std::size_t rep = 0; rep < run_metrics.size(); ++rep) {
+        const double tt = run_metrics[rep].turnaround_quanta;
+        if (std::find(kept.begin(), kept.end(), tt) == kept.end()) continue;
+        mean.turnaround_quanta += run_metrics[rep].turnaround_quanta;
+        mean.fairness += run_metrics[rep].fairness;
+        mean.ipc_geomean += run_metrics[rep].ipc_geomean;
+        mean.antt += run_metrics[rep].antt;
+        ++used;
+    }
+    if (used > 0) {
+        mean.turnaround_quanta /= used;
+        mean.fairness /= used;
+        mean.ipc_geomean /= used;
+        mean.antt /= used;
+    }
+    mean.individual_speedups = run_metrics.front().individual_speedups;
+    result.mean_metrics = mean;
+    result.exemplar = std::move(runs.front());
+    return result;
+}
+
+}  // namespace
+
+PolicySpec policy(std::string label, workloads::PolicyFactory factory) {
+    return {std::move(label),
+            [factory = std::move(factory)](const ArtifactSet&, std::uint64_t rep_seed) {
+                return factory(rep_seed);
+            }};
+}
+
+const CellResult* CampaignResult::find(const std::string& workload,
+                                       const std::string& policy) const {
+    for (const auto& c : cells)
+        if (c.workload == workload && c.policy == policy) return &c;
+    return nullptr;
+}
+
+CampaignRunner::CampaignRunner() : CampaignRunner(Options{}) {}
+
+CampaignRunner::CampaignRunner(Options opts, ArtifactCache* cache)
+    : opts_(opts),
+      cache_(cache != nullptr ? cache : &ArtifactCache::global()),
+      pool_(opts.threads) {}
+
+CampaignResult CampaignRunner::run(const Campaign& campaign,
+                                   const std::vector<Aggregator*>& aggregators) {
+    const auto start = std::chrono::steady_clock::now();
+    if (campaign.configs.empty()) throw std::invalid_argument("campaign: no configs");
+    if (campaign.policies.empty()) throw std::invalid_argument("campaign: no policies");
+
+    // ---- resolve shared artifacts and the workload axis per config -------
+    struct ConfigPlan {
+        uarch::SimConfig cfg;
+        ArtifactSet artifacts;
+        std::vector<workloads::WorkloadSpec> workloads;
+    };
+    std::vector<ConfigPlan> plans;
+    plans.reserve(campaign.configs.size());
+    for (const auto& cfg : campaign.configs) {
+        ConfigPlan plan;
+        plan.cfg = cfg;
+        if (campaign.needs_training) {
+            const std::vector<std::string> apps = campaign.training_apps.empty()
+                                                      ? workloads::training_apps()
+                                                      : campaign.training_apps;
+            plan.artifacts.training = cache_->training(cfg, campaign.trainer, apps);
+        }
+        if (campaign.needs_characterizations || campaign.use_paper_workloads)
+            plan.artifacts.characterizations = cache_->characterizations(
+                cfg, campaign.characterization_quanta, campaign.methodology.seed);
+        if (campaign.needs_calibration)
+            workloads::calibrate_suite(cfg, campaign.calibration_quanta,
+                                       campaign.methodology.seed);
+        plan.workloads = campaign.use_paper_workloads
+                             ? workloads::paper_workloads(*plan.artifacts.characterizations,
+                                                          campaign.methodology.seed)
+                             : campaign.workloads;
+        if (plan.workloads.empty()) throw std::invalid_argument("campaign: no workloads");
+        plans.push_back(std::move(plan));
+    }
+
+    // ---- build the flat cell list in grid order ---------------------------
+    const int reps = std::max(1, campaign.methodology.reps);
+    struct CellState {
+        std::size_t index = 0;  ///< position in grid order
+        std::size_t config_index = 0, workload_index = 0, policy_index = 0;
+        const ConfigPlan* plan = nullptr;
+        const workloads::WorkloadSpec* spec = nullptr;
+        const PolicySpec* policy = nullptr;
+        std::vector<sched::RunResult> runs;
+        std::vector<metrics::WorkloadMetrics> run_metrics;
+        std::atomic<int> remaining{0};
+    };
+    std::vector<std::unique_ptr<CellState>> cells;
+    for (std::size_t ci = 0; ci < plans.size(); ++ci)
+        for (std::size_t wi = 0; wi < plans[ci].workloads.size(); ++wi)
+            for (std::size_t pi = 0; pi < campaign.policies.size(); ++pi) {
+                auto cell = std::make_unique<CellState>();
+                cell->index = cells.size();
+                cell->config_index = ci;
+                cell->workload_index = wi;
+                cell->policy_index = pi;
+                cell->plan = &plans[ci];
+                cell->spec = &plans[ci].workloads[wi];
+                cell->policy = &campaign.policies[pi];
+                cell->runs.resize(static_cast<std::size_t>(reps));
+                cell->run_metrics.resize(static_cast<std::size_t>(reps));
+                cell->remaining.store(reps, std::memory_order_relaxed);
+                cells.push_back(std::move(cell));
+            }
+
+    // ---- reorder buffer: release finished cells in grid order -------------
+    std::mutex emit_mutex;
+    std::vector<std::unique_ptr<CellResult>> finished(cells.size());
+    std::size_t next_emit = 0;
+    std::vector<CellResult> emitted;
+    emitted.reserve(cells.size());
+    const auto emit_ready = [&](std::unique_ptr<CellResult> done, std::size_t index) {
+        const std::lock_guard lock(emit_mutex);
+        finished[index] = std::move(done);
+        while (next_emit < finished.size() && finished[next_emit]) {
+            CellResult& cell = *finished[next_emit];
+            for (Aggregator* agg : aggregators) agg->on_cell(cell);
+            if (opts_.log != nullptr)
+                *opts_.log << "[" << (next_emit + 1) << "/" << cells.size() << "] "
+                           << cell.workload << " / " << cell.policy
+                           << " TT=" << cell.result.mean_metrics.turnaround_quanta << "\n";
+            emitted.push_back(std::move(cell));
+            finished[next_emit].reset();
+            ++next_emit;
+        }
+    };
+
+    // ---- schedule every repetition over the persistent pool ---------------
+    for (const auto& cell_ptr : cells) {
+        CellState* cell = cell_ptr.get();
+        for (int rep = 0; rep < reps; ++rep) {
+            pool_.submit([this, &campaign, cell, rep, &emit_ready] {
+                const workloads::MethodologyOptions& opts = campaign.methodology;
+                workloads::MethodologyOptions rep_opts = opts;
+                rep_opts.record_traces = opts.record_traces && rep == 0;
+                rep_opts.threads = 1;  // parallelism lives at the rep grain
+                const auto prepared = cache_->prepared(*cell->spec, cell->plan->cfg, opts, rep);
+                const std::uint64_t rep_seed = common::derive_key(
+                    opts.seed, common::hash_string(cell->spec->name), 0x9001,
+                    static_cast<std::uint64_t>(rep));
+                const auto pol = cell->policy->make(cell->plan->artifacts, rep_seed);
+                cell->runs[static_cast<std::size_t>(rep)] = workloads::run_workload_once(
+                    *prepared, cell->plan->cfg, *pol, rep_opts);
+                cell->run_metrics[static_cast<std::size_t>(rep)] =
+                    metrics::compute_metrics(cell->runs[static_cast<std::size_t>(rep)]);
+                if (cell->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+                // Last repetition of this cell: finalize and stream it out.
+                auto done = std::make_unique<CellResult>();
+                done->config_index = cell->config_index;
+                done->workload_index = cell->workload_index;
+                done->policy_index = cell->policy_index;
+                done->workload = cell->spec->name;
+                done->policy = cell->policy->label;
+                done->result = aggregate_repetitions(*cell->spec, std::move(cell->runs),
+                                                     cell->run_metrics, opts.cv_limit);
+                emit_ready(std::move(done), cell->index);
+            });
+        }
+    }
+    pool_.wait_idle();  // rethrows the first repetition failure, if any
+
+    for (Aggregator* agg : aggregators) agg->finish();
+
+    CampaignResult result;
+    result.cells = std::move(emitted);
+    for (const auto& plan : plans) result.artifacts.push_back(plan.artifacts);
+    result.reps_executed = cells.size() * static_cast<std::size_t>(reps);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+workloads::PolicyComparison paired_comparison(const std::string& workload,
+                                              const metrics::WorkloadMetrics& baseline,
+                                              const metrics::WorkloadMetrics& treatment) {
+    workloads::PolicyComparison c;
+    c.workload = workload;
+    c.baseline = baseline;
+    c.treatment = treatment;
+    c.tt_speedup = metrics::turnaround_speedup(baseline, treatment);
+    c.ipc_speedup = metrics::ipc_speedup(baseline, treatment);
+    c.fairness_delta = treatment.fairness - baseline.fairness;
+    return c;
+}
+
+std::vector<workloads::PolicyComparison> compare_to_baseline(const CampaignResult& result,
+                                                             std::size_t baseline_policy,
+                                                             std::size_t treatment_policy) {
+    std::map<std::size_t, const CellResult*> base, treat;
+    for (const auto& c : result.cells) {
+        if (c.policy_index == baseline_policy) base[c.workload_index] = &c;
+        if (c.policy_index == treatment_policy) treat[c.workload_index] = &c;
+    }
+    std::vector<workloads::PolicyComparison> out;
+    out.reserve(base.size());
+    for (const auto& [wi, b] : base) {
+        const auto it = treat.find(wi);
+        if (it == treat.end()) continue;
+        out.push_back(paired_comparison(b->workload, b->result.mean_metrics,
+                                        it->second->result.mean_metrics));
+    }
+    return out;
+}
+
+}  // namespace synpa::exp

@@ -1,0 +1,151 @@
+// The parallel campaign engine.
+//
+// The paper's evaluation (Figures 5-9, Tables III-V) is a grid of
+// (config x workload x policy x repetition) simulator runs.  A Campaign
+// declares that grid once — which configs, which workloads (explicit or
+// the paper's 20), which policies, which shared artifacts (trained model,
+// suite characterization, phase calibration) — and the CampaignRunner
+// executes every repetition over a persistent thread pool.
+//
+// Determinism: each repetition derives its RNG streams purely from
+// (methodology seed, workload name, rep), and finished cells are released
+// to aggregators in grid order through a reorder buffer, so campaign
+// results are bit-identical for threads=1 and threads=N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "exp/artifact_cache.hpp"
+#include "model/trainer.hpp"
+#include "sched/policy.hpp"
+#include "uarch/sim_config.hpp"
+#include "workloads/methodology.hpp"
+#include "workloads/workload.hpp"
+
+namespace synpa::exp {
+
+/// Shared inputs resolved (through the ArtifactCache) for one campaign
+/// config before any of its cells run.  Entries the campaign did not
+/// request stay null.
+struct ArtifactSet {
+    std::shared_ptr<const model::TrainingResult> training;
+    std::shared_ptr<const std::vector<workloads::AppCharacterization>> characterizations;
+};
+
+/// One policy column of the grid.  The factory runs once per repetition and
+/// receives the config's artifacts plus the deterministic repetition seed.
+struct PolicySpec {
+    std::string label;
+    std::function<std::unique_ptr<sched::AllocationPolicy>(const ArtifactSet&,
+                                                           std::uint64_t rep_seed)>
+        make;
+};
+
+/// Adapts a methodology-level PolicyFactory (no artifact inputs).
+PolicySpec policy(std::string label, workloads::PolicyFactory factory);
+
+/// Declarative description of an evaluation grid.
+struct Campaign {
+    std::string name;
+
+    /// Grid axes.  `configs` must be non-empty; `workloads` lists explicit
+    /// specs, or set `use_paper_workloads` to expand the paper's twenty
+    /// evaluation workloads per config (from its suite characterization).
+    std::vector<uarch::SimConfig> configs;
+    std::vector<workloads::WorkloadSpec> workloads;
+    bool use_paper_workloads = false;
+    std::vector<PolicySpec> policies;
+
+    /// Repetitions, seeds, profiling windows, CV discard (paper §V-B).
+    workloads::MethodologyOptions methodology;
+
+    /// Shared artifacts.  Training and characterization are resolved once
+    /// per config through the ArtifactCache; calibration fills in the
+    /// suite's oracle phase categories (needed by OraclePolicy).
+    bool needs_training = false;
+    model::TrainerOptions trainer;
+    std::vector<std::string> training_apps;  ///< empty = workloads::training_apps()
+    bool needs_characterizations = false;
+    std::uint64_t characterization_quanta = 60;
+    bool needs_calibration = false;
+    std::uint64_t calibration_quanta = 30;
+};
+
+/// One finished grid point.
+struct CellResult {
+    std::size_t config_index = 0;
+    std::size_t workload_index = 0;
+    std::size_t policy_index = 0;
+    std::string workload;
+    std::string policy;  ///< PolicySpec label
+    workloads::RepeatedResult result;
+};
+
+/// Streaming consumer of finished cells.  on_cell is called exactly once
+/// per cell, in grid order (config-major, then workload, then policy),
+/// regardless of how execution interleaves across threads.
+class Aggregator {
+public:
+    virtual ~Aggregator() = default;
+    virtual void on_cell(const CellResult& cell) = 0;
+    /// Called once after the last cell.
+    virtual void finish() {}
+};
+
+struct CampaignResult {
+    std::vector<CellResult> cells;  ///< grid order
+    /// The shared artifacts the runner resolved, one per campaign config —
+    /// so consumers (e.g. bench_table5) reuse exactly what the cells saw
+    /// instead of re-deriving cache keys.
+    std::vector<ArtifactSet> artifacts;
+    std::size_t reps_executed = 0;
+    double wall_seconds = 0.0;
+
+    /// First cell matching (workload, policy label); null when absent.
+    const CellResult* find(const std::string& workload, const std::string& policy) const;
+};
+
+class CampaignRunner {
+public:
+    struct Options {
+        std::size_t threads = 0;      ///< workers; 0 = hardware concurrency
+        std::ostream* log = nullptr;  ///< optional per-cell progress lines
+    };
+
+    /// `cache` defaults to ArtifactCache::global(); pass a local cache to
+    /// isolate artifact reuse (tests do).
+    CampaignRunner();
+    explicit CampaignRunner(Options opts, ArtifactCache* cache = nullptr);
+
+    /// Executes the whole grid; streams cells into `aggregators` (in grid
+    /// order) and returns them all.  The first exception thrown by any
+    /// repetition is rethrown here after the grid drains.
+    CampaignResult run(const Campaign& campaign,
+                       const std::vector<Aggregator*>& aggregators = {});
+
+private:
+    Options opts_;
+    ArtifactCache* cache_;
+    common::ThreadPool pool_;  ///< persistent across run() calls
+};
+
+/// The paper's paired speedups/deltas for one workload's (baseline,
+/// treatment) metrics — the single definition shared by compare_to_baseline
+/// and PairedSpeedupAggregator.
+workloads::PolicyComparison paired_comparison(const std::string& workload,
+                                              const metrics::WorkloadMetrics& baseline,
+                                              const metrics::WorkloadMetrics& treatment);
+
+/// Per-workload paired comparison of two policy columns (the shape the
+/// figure benches consume).  Assumes a single-config campaign.
+std::vector<workloads::PolicyComparison> compare_to_baseline(
+    const CampaignResult& result, std::size_t baseline_policy = 0,
+    std::size_t treatment_policy = 1);
+
+}  // namespace synpa::exp

@@ -9,6 +9,9 @@
 #include "apps/spec_suite.hpp"       // the 28 SPEC-named profiles
 #include "core/estimator.hpp"        // runtime isolated-behaviour estimation
 #include "core/synpa_policy.hpp"     // the SYNPA allocation policy
+#include "exp/aggregators.hpp"       // streaming campaign aggregators
+#include "exp/artifact_cache.hpp"    // memoized shared campaign inputs
+#include "exp/campaign.hpp"          // the parallel campaign engine
 #include "matching/matching.hpp"     // Blossom / subset-DP / brute-force matchers
 #include "metrics/metrics.hpp"       // TT, fairness, IPC, pair statistics
 #include "model/categories.hpp"      // three-step dispatch characterization

@@ -44,6 +44,7 @@ std::uint64_t config_fingerprint(const SimConfig& cfg) noexcept {
     mix_dbl(cfg.mem_queue_factor_cap);
     mix_dbl(cfg.warmup_miss_multiplier);
     mix_u64(cfg.warmup_insts);
+    mix_int(cfg.mshr_serialization_cap);
     mix_u64(cfg.cycles_per_quantum);
     return h;
 }

@@ -1,12 +1,14 @@
 #include "workloads/methodology.hpp"
 
-#include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "apps/spec_suite.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "exp/campaign.hpp"
 #include "model/trainer.hpp"
 #include "uarch/chip.hpp"
 
@@ -92,61 +94,24 @@ sched::RunResult run_workload_once(const PreparedWorkload& prepared,
     return manager.run();
 }
 
+// run_workload and compare_policies are thin wrappers over the campaign
+// engine: they declare a one-column (or two-column) grid and let
+// exp::CampaignRunner execute the repetitions over its persistent pool,
+// with artifacts (per-rep prepared workloads) memoized process-wide in
+// exp::ArtifactCache::global().
+
 RepeatedResult run_workload(const WorkloadSpec& spec, const uarch::SimConfig& cfg,
                             const PolicyFactory& make_policy,
                             const MethodologyOptions& opts) {
-    const int reps = std::max(1, opts.reps);
-    std::vector<sched::RunResult> runs(static_cast<std::size_t>(reps));
-    std::vector<metrics::WorkloadMetrics> run_metrics(static_cast<std::size_t>(reps));
-
-    common::parallel_for(
-        static_cast<std::size_t>(reps),
-        [&](std::size_t rep) {
-            MethodologyOptions rep_opts = opts;
-            rep_opts.record_traces = opts.record_traces && rep == 0;
-            const PreparedWorkload prepared =
-                prepare_workload(spec, cfg, opts, static_cast<int>(rep));
-            const std::uint64_t rep_seed =
-                common::derive_key(opts.seed, common::hash_string(spec.name), 0x9001, rep);
-            const auto policy = make_policy(rep_seed);
-            runs[rep] = run_workload_once(prepared, cfg, *policy, rep_opts);
-            run_metrics[rep] = metrics::compute_metrics(runs[rep]);
-        },
-        opts.threads);
-
-    // The paper's outlier-discard methodology on the turnaround samples.
-    std::vector<double> tts;
-    tts.reserve(runs.size());
-    for (const auto& m : run_metrics) tts.push_back(m.turnaround_quanta);
-    const std::vector<double> kept = common::discard_outliers_until_cv(tts, opts.cv_limit);
-
-    RepeatedResult result;
-    result.workload = spec.name;
-    result.policy = runs.front().policy_name;
-    result.turnaround_samples = kept;
-    result.exemplar = std::move(runs.front());
-
-    // Average the metrics over the retained repetitions.
-    metrics::WorkloadMetrics mean{};
-    int used = 0;
-    for (std::size_t rep = 0; rep < run_metrics.size(); ++rep) {
-        const double tt = run_metrics[rep].turnaround_quanta;
-        if (std::find(kept.begin(), kept.end(), tt) == kept.end()) continue;
-        mean.turnaround_quanta += run_metrics[rep].turnaround_quanta;
-        mean.fairness += run_metrics[rep].fairness;
-        mean.ipc_geomean += run_metrics[rep].ipc_geomean;
-        mean.antt += run_metrics[rep].antt;
-        ++used;
-    }
-    if (used > 0) {
-        mean.turnaround_quanta /= used;
-        mean.fairness /= used;
-        mean.ipc_geomean /= used;
-        mean.antt /= used;
-    }
-    mean.individual_speedups = run_metrics.front().individual_speedups;
-    result.mean_metrics = mean;
-    return result;
+    exp::Campaign campaign;
+    campaign.name = "run_workload:" + spec.name;
+    campaign.configs = {cfg};
+    campaign.workloads = {spec};
+    campaign.policies = {exp::policy("policy", make_policy)};
+    campaign.methodology = opts;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    exp::CampaignResult result = runner.run(campaign);
+    return std::move(result.cells.front().result);
 }
 
 std::vector<PolicyComparison> compare_policies(const std::vector<WorkloadSpec>& specs,
@@ -154,25 +119,16 @@ std::vector<PolicyComparison> compare_policies(const std::vector<WorkloadSpec>& 
                                                const PolicyFactory& make_baseline,
                                                const PolicyFactory& make_treatment,
                                                const MethodologyOptions& opts) {
-    std::vector<PolicyComparison> out(specs.size());
-    common::parallel_for(
-        specs.size(),
-        [&](std::size_t w) {
-            MethodologyOptions inner = opts;
-            inner.threads = 1;  // parallelism lives at the workload level
-            const RepeatedResult base = run_workload(specs[w], cfg, make_baseline, inner);
-            const RepeatedResult treat = run_workload(specs[w], cfg, make_treatment, inner);
-            PolicyComparison c;
-            c.workload = specs[w].name;
-            c.baseline = base.mean_metrics;
-            c.treatment = treat.mean_metrics;
-            c.tt_speedup = metrics::turnaround_speedup(base.mean_metrics, treat.mean_metrics);
-            c.ipc_speedup = metrics::ipc_speedup(base.mean_metrics, treat.mean_metrics);
-            c.fairness_delta = treat.mean_metrics.fairness - base.mean_metrics.fairness;
-            out[w] = c;
-        },
-        opts.threads);
-    return out;
+    exp::Campaign campaign;
+    campaign.name = "compare_policies";
+    campaign.configs = {cfg};
+    campaign.workloads = specs;
+    campaign.policies = {exp::policy("baseline", make_baseline),
+                         exp::policy("treatment", make_treatment)};
+    campaign.methodology = opts;
+    exp::CampaignRunner runner({.threads = opts.threads});
+    const exp::CampaignResult result = runner.run(campaign);
+    return exp::compare_to_baseline(result, 0, 1);
 }
 
 }  // namespace synpa::workloads

@@ -68,7 +68,10 @@ struct RepeatedResult {
 };
 
 /// Runs `reps` repetitions of (spec, policy), applies the CV-based outlier
-/// discard to turnaround samples, and averages the metrics.
+/// discard to turnaround samples, and averages the metrics.  Implemented as
+/// a thin wrapper over exp::CampaignRunner (a one-cell campaign), so the
+/// repetitions run in parallel and prepared workloads are memoized in
+/// exp::ArtifactCache::global().
 RepeatedResult run_workload(const WorkloadSpec& spec, const uarch::SimConfig& cfg,
                             const PolicyFactory& make_policy,
                             const MethodologyOptions& opts);
@@ -84,6 +87,7 @@ struct PolicyComparison {
     double fairness_delta = 0.0;
 };
 
+/// Also a thin campaign wrapper: one grid of specs x {baseline, treatment}.
 std::vector<PolicyComparison> compare_policies(const std::vector<WorkloadSpec>& specs,
                                                const uarch::SimConfig& cfg,
                                                const PolicyFactory& make_baseline,

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/config.hpp"
 #include "common/rng.hpp"
@@ -260,6 +261,44 @@ TEST(ThreadPool, ParallelForCoversRange) {
 
 TEST(ThreadPool, ParallelForZeroIsNoop) {
     parallel_for(0, [](std::size_t) { FAIL(); });
+    SUCCEED();
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The pool stays usable and the exception is not rethrown twice.
+    std::atomic<int> counter{0};
+    pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallel_for(
+                     16,
+                     [&](std::size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 3) throw std::invalid_argument("bad index");
+                     },
+                     2),
+                 std::invalid_argument);
+    EXPECT_EQ(ran.load(), 16);  // the batch still drains
+}
+
+TEST(ThreadPool, SubmitWaitableDeliversResult) {
+    ThreadPool pool(2);
+    auto doubled = pool.submit_waitable([] { return 21 * 2; });
+    EXPECT_EQ(doubled.get(), 42);
+}
+
+TEST(ThreadPool, SubmitWaitableDeliversExceptionThroughFuture) {
+    ThreadPool pool(2);
+    auto failing = pool.submit_waitable([]() -> int { throw std::domain_error("nope"); });
+    EXPECT_THROW(failing.get(), std::domain_error);
+    pool.wait_idle();  // the future owned the exception; wait_idle stays clean
     SUCCEED();
 }
 

@@ -1,0 +1,232 @@
+// Campaign-engine tests: thread-count determinism, artifact memoization
+// (the trainer runs exactly once), grid-order aggregator streaming, and the
+// methodology wrappers' equivalence with a hand-built campaign.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/aggregators.hpp"
+#include "exp/artifact_cache.hpp"
+#include "exp/campaign.hpp"
+#include "sched/baselines.hpp"
+#include "workloads/methodology.hpp"
+
+namespace {
+
+using namespace synpa;
+
+uarch::SimConfig small_config() {
+    uarch::SimConfig cfg;
+    cfg.cores = 2;                   // 4-slot workloads
+    cfg.cycles_per_quantum = 4'000;  // short quanta keep the grid fast
+    return cfg;
+}
+
+workloads::MethodologyOptions fast_methodology() {
+    workloads::MethodologyOptions opts;
+    opts.reps = 2;
+    opts.seed = 7;
+    opts.target_isolated_quanta = 10;
+    opts.max_quanta = 2'000;
+    return opts;
+}
+
+/// 2 workloads x 2 policies x 2 reps, no training needed.
+exp::Campaign small_campaign() {
+    exp::Campaign campaign;
+    campaign.name = "test-grid";
+    campaign.configs = {small_config()};
+    campaign.workloads = {
+        {"wa", {"mcf", "leela_r", "hmmer", "astar"}},
+        {"wb", {"lbm_r", "gobmk", "nab_r", "mcf_r"}},
+    };
+    campaign.policies = {
+        exp::policy("linux",
+                    [](std::uint64_t) { return std::make_unique<sched::LinuxPolicy>(); }),
+        exp::policy("random",
+                    [](std::uint64_t s) { return std::make_unique<sched::RandomPolicy>(s); }),
+    };
+    campaign.methodology = fast_methodology();
+    return campaign;
+}
+
+TEST(Campaign, ResultsAreIdenticalForOneAndManyThreads) {
+    const exp::Campaign campaign = small_campaign();
+
+    exp::ArtifactCache cache_serial, cache_parallel;
+    exp::CampaignRunner serial({.threads = 1}, &cache_serial);
+    exp::CampaignRunner parallel({.threads = 8}, &cache_parallel);
+    const exp::CampaignResult a = serial.run(campaign);
+    const exp::CampaignResult b = parallel.run(campaign);
+
+    ASSERT_EQ(a.cells.size(), 4u);
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        const exp::CellResult& ca = a.cells[i];
+        const exp::CellResult& cb = b.cells[i];
+        EXPECT_EQ(ca.workload, cb.workload);
+        EXPECT_EQ(ca.policy, cb.policy);
+        ASSERT_EQ(ca.result.turnaround_samples.size(), cb.result.turnaround_samples.size());
+        for (std::size_t s = 0; s < ca.result.turnaround_samples.size(); ++s)
+            EXPECT_EQ(ca.result.turnaround_samples[s], cb.result.turnaround_samples[s]);
+        EXPECT_EQ(ca.result.mean_metrics.turnaround_quanta,
+                  cb.result.mean_metrics.turnaround_quanta);
+        EXPECT_EQ(ca.result.mean_metrics.fairness, cb.result.mean_metrics.fairness);
+        EXPECT_EQ(ca.result.mean_metrics.ipc_geomean, cb.result.mean_metrics.ipc_geomean);
+        EXPECT_EQ(ca.result.mean_metrics.antt, cb.result.mean_metrics.antt);
+        EXPECT_EQ(ca.result.exemplar.turnaround_quanta, cb.result.exemplar.turnaround_quanta);
+        EXPECT_EQ(ca.result.exemplar.migrations, cb.result.exemplar.migrations);
+    }
+}
+
+TEST(Campaign, CellsArriveInGridOrder) {
+    struct Recorder final : exp::Aggregator {
+        std::vector<std::string> seen;
+        bool finished = false;
+        void on_cell(const exp::CellResult& cell) override {
+            seen.push_back(cell.workload + "/" + cell.policy);
+        }
+        void finish() override { finished = true; }
+    };
+    Recorder recorder;
+    exp::ArtifactCache cache;
+    exp::CampaignRunner runner({.threads = 8}, &cache);
+    runner.run(small_campaign(), {&recorder});
+    const std::vector<std::string> expected = {"wa/linux", "wa/random", "wb/linux",
+                                               "wb/random"};
+    EXPECT_EQ(recorder.seen, expected);
+    EXPECT_TRUE(recorder.finished);
+}
+
+TEST(Campaign, PreparedWorkloadsAreMemoizedAcrossPoliciesAndRuns) {
+    exp::ArtifactCache cache;
+    exp::CampaignRunner runner({.threads = 4}, &cache);
+    const exp::Campaign campaign = small_campaign();
+    runner.run(campaign);
+    // 2 workloads x 2 reps distinct (spec, rep) keys; the two policy columns
+    // share them.
+    EXPECT_EQ(cache.stats().prepared_builds, 4u);
+    runner.run(campaign);
+    EXPECT_EQ(cache.stats().prepared_builds, 4u);  // second run: all hits
+    EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(ArtifactCache, TrainerRunsExactlyOnceAcrossRepeatedRequests) {
+    const uarch::SimConfig cfg = small_config();
+    model::TrainerOptions topts;
+    topts.isolated_quanta = 16;
+    topts.pair_quanta = 6;
+    topts.warmup_quanta = 1;
+    topts.seed = 3;
+    const std::vector<std::string> apps = {"mcf", "leela_r", "hmmer"};
+
+    exp::ArtifactCache cache;
+    const auto first = cache.training(cfg, topts, apps);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(cache.stats().trainer_runs, 1u);
+
+    // Same key again — cached, including via a campaign that needs training.
+    const auto second = cache.training(cfg, topts, apps);
+    EXPECT_EQ(first.get(), second.get());
+
+    exp::Campaign campaign = small_campaign();
+    campaign.needs_training = true;
+    campaign.trainer = topts;
+    campaign.training_apps = apps;
+    campaign.workloads.resize(1);
+    campaign.policies = {exp::policy("linux", [](std::uint64_t) {
+        return std::make_unique<sched::LinuxPolicy>();
+    })};
+    campaign.methodology.reps = 1;
+    exp::CampaignRunner runner({.threads = 2}, &cache);
+    runner.run(campaign);
+    runner.run(campaign);
+    EXPECT_EQ(cache.stats().trainer_runs, 1u);
+
+    // A different key does retrain.
+    topts.seed = 4;
+    (void)cache.training(cfg, topts, apps);
+    EXPECT_EQ(cache.stats().trainer_runs, 2u);
+}
+
+TEST(Campaign, RunWorkloadWrapperMatchesEngineCell) {
+    const exp::Campaign campaign = small_campaign();
+    const workloads::WorkloadSpec& spec = campaign.workloads.front();
+    const workloads::MethodologyOptions opts = fast_methodology();
+    const workloads::PolicyFactory make_linux = [](std::uint64_t) {
+        return std::make_unique<sched::LinuxPolicy>();
+    };
+
+    const workloads::RepeatedResult direct =
+        workloads::run_workload(spec, small_config(), make_linux, opts);
+
+    exp::ArtifactCache cache;
+    exp::CampaignRunner runner({.threads = 1}, &cache);
+    const exp::CampaignResult engine = runner.run(campaign);
+    const exp::CellResult* cell = engine.find(spec.name, "linux");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(direct.turnaround_samples, cell->result.turnaround_samples);
+    EXPECT_EQ(direct.mean_metrics.turnaround_quanta,
+              cell->result.mean_metrics.turnaround_quanta);
+    EXPECT_EQ(direct.mean_metrics.fairness, cell->result.mean_metrics.fairness);
+}
+
+TEST(Campaign, PairedSpeedupAndComparisonAgree) {
+    exp::PairedSpeedupAggregator paired("linux");
+    exp::ArtifactCache cache;
+    exp::CampaignRunner runner({.threads = 4}, &cache);
+    const exp::CampaignResult result = runner.run(small_campaign(), {&paired});
+
+    const auto streamed = paired.comparisons("random");
+    const auto batch = exp::compare_to_baseline(result, 0, 1);
+    ASSERT_EQ(streamed.size(), 2u);
+    ASSERT_EQ(batch.size(), 2u);
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i].workload, batch[i].workload);
+        EXPECT_EQ(streamed[i].tt_speedup, batch[i].tt_speedup);
+        EXPECT_EQ(streamed[i].ipc_speedup, batch[i].ipc_speedup);
+        EXPECT_EQ(streamed[i].fairness_delta, batch[i].fairness_delta);
+    }
+    for (const auto& c : batch) {
+        EXPECT_GT(c.baseline.turnaround_quanta, 0.0);
+        EXPECT_GT(c.treatment.turnaround_quanta, 0.0);
+        EXPECT_GT(c.tt_speedup, 0.0);
+    }
+}
+
+TEST(Campaign, CsvAndJsonExportEveryCell) {
+    std::ostringstream csv, json;
+    exp::CsvAggregator csv_agg(csv);
+    exp::JsonAggregator json_agg(json);
+    exp::ArtifactCache cache;
+    exp::CampaignRunner runner({.threads = 4}, &cache);
+    runner.run(small_campaign(), {&csv_agg, &json_agg});
+
+    const std::string csv_text = csv.str();
+    std::size_t lines = 0;
+    for (char c : csv_text) lines += c == '\n';
+    EXPECT_EQ(lines, 5u);  // header + 4 cells
+    EXPECT_NE(csv_text.find("wa,linux"), std::string::npos);
+    EXPECT_NE(csv_text.find("wb,random"), std::string::npos);
+
+    const std::string json_text = json.str();
+    EXPECT_EQ(json_text.front(), '[');
+    std::size_t objects = 0;
+    for (std::size_t pos = 0; (pos = json_text.find("\"workload\"", pos)) != std::string::npos;
+         ++pos)
+        ++objects;
+    EXPECT_EQ(objects, 4u);
+}
+
+TEST(Campaign, RepFailuresSurfaceAsExceptions) {
+    exp::Campaign campaign = small_campaign();
+    campaign.workloads = {{"bad", {"mcf", "mcf"}}};  // wrong size for 2 cores
+    exp::ArtifactCache cache;
+    exp::CampaignRunner runner({.threads = 2}, &cache);
+    EXPECT_THROW(runner.run(campaign), std::invalid_argument);
+}
+
+}  // namespace
