@@ -79,6 +79,23 @@ double coefficient_of_variation(std::span<const double> xs) noexcept {
     return stddev(xs) / std::abs(m);
 }
 
+double percentile(std::span<const double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) noexcept {
+    if (sorted.empty()) return 0.0;
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    const double pos = clamped * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 std::vector<double> discard_outliers_until_cv(std::vector<double> xs, double cv_limit,
                                               std::size_t min_keep) {
     while (xs.size() > std::max<std::size_t>(min_keep, 1) &&

@@ -46,6 +46,15 @@ double mse(std::span<const double> predicted, std::span<const double> observed) 
 /// Coefficient of variation: stddev / mean (0 when mean is 0).
 double coefficient_of_variation(std::span<const double> xs) noexcept;
 
+/// The p-quantile (p in [0, 1]) with linear interpolation between order
+/// statistics; 0 for an empty sample.  Used for turnaround tail latency
+/// (p95/p99) in the scenario reports.
+double percentile(std::span<const double> xs, double p);
+
+/// percentile() for already-sorted input — callers extracting several
+/// quantiles from one sample sort once and use this.
+double percentile_sorted(std::span<const double> sorted, double p) noexcept;
+
 /// The paper's repetition methodology: repeatedly discard the sample
 /// farthest from the mean until the coefficient of variation drops below
 /// `cv_limit` (or only `min_keep` samples remain).  Returns the retained

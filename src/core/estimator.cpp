@@ -53,6 +53,12 @@ double SynpaEstimator::pair_weight(int task_u, int task_v) const {
     return model_.predict_slowdown(eu, ev) + model_.predict_slowdown(ev, eu);
 }
 
+double SynpaEstimator::solo_weight(int task_id) const {
+    return model_.predict_slowdown(estimate(task_id), model::CategoryVector{});
+}
+
+void SynpaEstimator::forget(int task_id) { estimates_.erase(task_id); }
+
 void SynpaEstimator::transfer(int old_task_id, int new_task_id) {
     const auto it = estimates_.find(old_task_id);
     if (it == estimates_.end()) return;

@@ -48,9 +48,18 @@ public:
     /// next to v plus slowdown of v next to u.
     double pair_weight(int task_u, int task_v) const;
 
+    /// Predicted badness of running the task on a core of its own: the
+    /// forward model evaluated against an all-zero co-runner (no competing
+    /// category demand), i.e. the "runs alone" benefit term the partial
+    /// allocator weighs against pair slowdowns.
+    double solo_weight(int task_id) const;
+
     /// Transfers the estimate across a relaunch (same application, so the
     /// behaviour estimate remains the best prior available).
     void transfer(int old_task_id, int new_task_id);
+
+    /// Drops a retired task's estimate (open-system departures).
+    void forget(int task_id);
 
     const model::InterferenceModel& model() const noexcept { return model_; }
 

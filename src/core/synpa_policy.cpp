@@ -104,6 +104,36 @@ sched::PairAllocation SynpaPolicy::reallocate(
             weights.set(u, v, estimator_.pair_weight(observations[u].task_id,
                                                      observations[v].task_id));
 
+    // Partial load (open system, N != 2 * cores): Step 3 becomes an
+    // imperfect matching — the padded solver weighs every candidate pair's
+    // combined slowdown against the two members' "runs alone" terms, so it
+    // decides *which* threads deserve a core of their own.  No hysteresis
+    // here: arrivals and departures churn the index space every few quanta
+    // anyway, and place_on_cores still pins survivors to incumbent cores.
+    const int total_cores = observations.empty() ? -1 : observations.front().total_cores;
+    if (total_cores > 0 && n != 2 * static_cast<std::size_t>(total_cores)) {
+        std::vector<double> solo(n);
+        for (std::size_t i = 0; i < n; ++i)
+            solo[i] = estimator_.solo_weight(observations[i].task_id);
+        // The dummy-node reduction needs an exact solver (see matching.hpp);
+        // the greedy ablation falls back to Blossom under partial load.
+        const matching::Matcher& exact =
+            opts_.selector == PairSelector::kGreedy
+                ? static_cast<const matching::Matcher&>(blossom_)
+                : matcher();
+        const matching::PartialMatching sel = matching::min_weight_partial(
+            weights, solo, static_cast<std::size_t>(total_cores), exact);
+        std::vector<std::pair<int, int>> entries;
+        for (auto [u, v] : sel.pairs)
+            entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
+                                 observations[static_cast<std::size_t>(v)].task_id);
+        for (int u : sel.singles)
+            entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
+                                 sched::kNoTask);
+        return sched::place_on_cores(entries, observations,
+                                     static_cast<std::size_t>(total_cores));
+    }
+
     // Current pairing in index space, for hysteresis.
     std::vector<std::pair<int, int>> current;
     std::unordered_map<int, std::size_t> index_of;
@@ -129,5 +159,7 @@ sched::PairAllocation SynpaPolicy::reallocate(
 void SynpaPolicy::on_task_replaced(int old_task_id, int new_task_id) {
     estimator_.transfer(old_task_id, new_task_id);
 }
+
+void SynpaPolicy::on_task_finished(int task_id) { estimator_.forget(task_id); }
 
 }  // namespace synpa::core

@@ -48,6 +48,7 @@ public:
     sched::PairAllocation reallocate(
         std::span<const sched::TaskObservation> observations) override;
     void on_task_replaced(int old_task_id, int new_task_id) override;
+    void on_task_finished(int task_id) override;
 
     const SynpaEstimator& estimator() const noexcept { return estimator_; }
 

@@ -103,6 +103,14 @@ std::shared_ptr<const workloads::PreparedWorkload> ArtifactCache::prepared(
     });
 }
 
+std::shared_ptr<const scenario::ScenarioTrace> ArtifactCache::scenario_trace(
+    const scenario::ScenarioSpec& spec, const uarch::SimConfig& cfg) {
+    const std::uint64_t key = common::derive_key(
+        uarch::config_fingerprint(cfg), scenario::scenario_fingerprint(spec), 0x5ce0);
+    return memoize(scenarios_, key, &Stats::scenario_builds,
+                   [&] { return scenario::build_trace(spec, cfg); });
+}
+
 ArtifactCache::Stats ArtifactCache::stats() const {
     const std::lock_guard lock(mutex_);
     return stats_;
@@ -113,6 +121,7 @@ void ArtifactCache::clear() {
     training_.clear();
     characterizations_.clear();
     prepared_.clear();
+    scenarios_.clear();
 }
 
 ArtifactCache& ArtifactCache::global() {

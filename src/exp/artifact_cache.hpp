@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "model/trainer.hpp"
+#include "scenario/scenario.hpp"
 #include "uarch/sim_config.hpp"
 #include "workloads/groups.hpp"
 #include "workloads/methodology.hpp"
@@ -33,6 +34,7 @@ public:
         std::size_t trainer_runs = 0;
         std::size_t characterization_runs = 0;
         std::size_t prepared_builds = 0;
+        std::size_t scenario_builds = 0;
         std::size_t hits = 0;
     };
 
@@ -54,6 +56,14 @@ public:
     std::shared_ptr<const workloads::PreparedWorkload> prepared(
         const workloads::WorkloadSpec& spec, const uarch::SimConfig& cfg,
         const workloads::MethodologyOptions& opts, int rep);
+
+    /// A sampled dynamic scenario (arrivals + per-task service demands).
+    /// Keyed by (config fingerprint, scenario_fingerprint(spec)) — the
+    /// fingerprint covers *every* spec field including the arrival seed, so
+    /// two scenarios differing only in seed never alias, while every policy
+    /// column of a scenario grid shares one build.
+    std::shared_ptr<const scenario::ScenarioTrace> scenario_trace(
+        const scenario::ScenarioSpec& spec, const uarch::SimConfig& cfg);
 
     Stats stats() const;
 
@@ -79,6 +89,7 @@ private:
     std::unordered_map<std::uint64_t, Slot<std::vector<workloads::AppCharacterization>>>
         characterizations_;
     std::unordered_map<std::uint64_t, Slot<workloads::PreparedWorkload>> prepared_;
+    std::unordered_map<std::uint64_t, Slot<scenario::ScenarioTrace>> scenarios_;
 };
 
 }  // namespace synpa::exp

@@ -1,0 +1,264 @@
+#include "exp/scenario_grid.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "workloads/groups.hpp"
+
+namespace synpa::exp {
+
+ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs) {
+    ScenarioSummary s;
+    std::vector<double> turnarounds;
+    double queue_sum = 0.0, slowdown_sum = 0.0, util_sum = 0.0;
+    double quanta_total = 0.0, migrations_total = 0.0;
+    std::size_t util_runs = 0;
+    for (const scenario::ScenarioResult& run : runs) {
+        s.planned_tasks += run.tasks.size();
+        s.completed_tasks += run.completed_tasks;
+        s.all_completed = s.all_completed && run.completed;
+        for (const scenario::TaskRecord& rec : run.tasks) {
+            if (!rec.completed) continue;
+            turnarounds.push_back(rec.turnaround_quanta);
+            queue_sum += rec.queue_quanta;
+            slowdown_sum += rec.slowdown;
+        }
+        if (!run.timeline.empty()) {
+            util_sum += run.mean_utilization();
+            ++util_runs;
+        }
+        quanta_total += static_cast<double>(run.quanta_executed);
+        migrations_total += static_cast<double>(run.migrations);
+    }
+    if (!turnarounds.empty()) {
+        double sum = 0.0;
+        for (double t : turnarounds) sum += t;
+        const auto n = static_cast<double>(turnarounds.size());
+        s.mean_turnaround = sum / n;
+        std::sort(turnarounds.begin(), turnarounds.end());
+        s.p50_turnaround = common::percentile_sorted(turnarounds, 0.50);
+        s.p95_turnaround = common::percentile_sorted(turnarounds, 0.95);
+        s.p99_turnaround = common::percentile_sorted(turnarounds, 0.99);
+        s.mean_queue = queue_sum / n;
+        s.mean_slowdown = slowdown_sum / n;
+    }
+    if (util_runs > 0) s.mean_utilization = util_sum / static_cast<double>(util_runs);
+    if (quanta_total > 0.0) {
+        s.throughput = static_cast<double>(s.completed_tasks) / quanta_total;
+        s.migrations_per_quantum = migrations_total / quanta_total;
+    }
+    return s;
+}
+
+const ScenarioCellResult* ScenarioGridResult::find(const std::string& scenario,
+                                                   const std::string& policy) const {
+    for (const auto& c : cells)
+        if (c.scenario == scenario && c.policy == policy) return &c;
+    return nullptr;
+}
+
+ScenarioGridRunner::ScenarioGridRunner() : ScenarioGridRunner(Options{}) {}
+
+ScenarioGridRunner::ScenarioGridRunner(Options opts, ArtifactCache* cache)
+    : opts_(opts),
+      cache_(cache != nullptr ? cache : &ArtifactCache::global()),
+      pool_(opts.threads) {}
+
+ScenarioGridResult ScenarioGridRunner::run(
+    const ScenarioCampaign& campaign, const std::vector<ScenarioAggregator*>& aggregators) {
+    const auto start = std::chrono::steady_clock::now();
+    if (campaign.configs.empty()) throw std::invalid_argument("scenario grid: no configs");
+    if (campaign.scenarios.empty())
+        throw std::invalid_argument("scenario grid: no scenarios");
+    if (campaign.policies.empty()) throw std::invalid_argument("scenario grid: no policies");
+
+    // ---- resolve shared artifacts per config ------------------------------
+    std::vector<ArtifactSet> artifacts(campaign.configs.size());
+    for (std::size_t ci = 0; ci < campaign.configs.size(); ++ci) {
+        if (campaign.needs_training) {
+            const std::vector<std::string> apps = campaign.training_apps.empty()
+                                                      ? workloads::training_apps()
+                                                      : campaign.training_apps;
+            artifacts[ci].training =
+                cache_->training(campaign.configs[ci], campaign.trainer, apps);
+        }
+    }
+
+    // ---- flat cell list in grid order -------------------------------------
+    const int reps = std::max(1, campaign.reps);
+    struct CellState {
+        std::size_t index = 0;
+        std::size_t config_index = 0, scenario_index = 0, policy_index = 0;
+        std::vector<scenario::ScenarioResult> runs;
+        std::atomic<int> remaining{0};
+    };
+    std::vector<std::unique_ptr<CellState>> cells;
+    for (std::size_t ci = 0; ci < campaign.configs.size(); ++ci)
+        for (std::size_t si = 0; si < campaign.scenarios.size(); ++si)
+            for (std::size_t pi = 0; pi < campaign.policies.size(); ++pi) {
+                auto cell = std::make_unique<CellState>();
+                cell->index = cells.size();
+                cell->config_index = ci;
+                cell->scenario_index = si;
+                cell->policy_index = pi;
+                cell->runs.resize(static_cast<std::size_t>(reps));
+                cell->remaining.store(reps, std::memory_order_relaxed);
+                cells.push_back(std::move(cell));
+            }
+
+    // ---- reorder buffer: release finished cells in grid order -------------
+    std::mutex emit_mutex;
+    std::vector<std::unique_ptr<ScenarioCellResult>> finished(cells.size());
+    std::size_t next_emit = 0;
+    std::vector<ScenarioCellResult> emitted;
+    emitted.reserve(cells.size());
+    const auto emit_ready = [&](std::unique_ptr<ScenarioCellResult> done, std::size_t index) {
+        const std::lock_guard lock(emit_mutex);
+        finished[index] = std::move(done);
+        while (next_emit < finished.size() && finished[next_emit]) {
+            ScenarioCellResult& cell = *finished[next_emit];
+            for (ScenarioAggregator* agg : aggregators) agg->on_cell(cell);
+            if (opts_.log != nullptr)
+                *opts_.log << "[" << (next_emit + 1) << "/" << cells.size() << "] "
+                           << cell.scenario << " / " << cell.policy
+                           << " TTmean=" << cell.summary.mean_turnaround
+                           << " util=" << cell.summary.mean_utilization << "\n";
+            emitted.push_back(std::move(cell));
+            finished[next_emit].reset();
+            ++next_emit;
+        }
+    };
+
+    // ---- schedule every repetition over the persistent pool ---------------
+    for (const auto& cell_ptr : cells) {
+        CellState* cell = cell_ptr.get();
+        for (int rep = 0; rep < reps; ++rep) {
+            pool_.submit([this, &campaign, &artifacts, cell, rep, &emit_ready] {
+                const uarch::SimConfig& cfg = campaign.configs[cell->config_index];
+                // Repetitions re-sample the arrival process with a derived
+                // seed; rep 0 keeps the spec verbatim so its memoized trace
+                // is shared with direct scenario_trace callers.
+                scenario::ScenarioSpec spec = campaign.scenarios[cell->scenario_index];
+                if (rep > 0)
+                    spec.seed = common::derive_key(spec.seed, 0x9e9,
+                                                   static_cast<std::uint64_t>(rep));
+                const auto trace = cache_->scenario_trace(spec, cfg);
+                const std::uint64_t rep_seed =
+                    common::derive_key(spec.seed, 0x9001, static_cast<std::uint64_t>(rep));
+                const auto policy = campaign.policies[cell->policy_index].make(
+                    artifacts[cell->config_index], rep_seed);
+                uarch::Chip chip(cfg);
+                scenario::ScenarioRunner runner(
+                    chip, *policy, *trace,
+                    {.max_quanta = campaign.max_quanta,
+                     .record_timeline = campaign.record_timelines});
+                cell->runs[static_cast<std::size_t>(rep)] = runner.run();
+                if (cell->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+                // Last repetition of this cell: finalize and stream it out.
+                auto done = std::make_unique<ScenarioCellResult>();
+                done->config_index = cell->config_index;
+                done->scenario_index = cell->scenario_index;
+                done->policy_index = cell->policy_index;
+                done->scenario = campaign.scenarios[cell->scenario_index].name;
+                done->policy = campaign.policies[cell->policy_index].label;
+                done->runs = std::move(cell->runs);
+                done->summary = summarize_runs(done->runs);
+                emit_ready(std::move(done), cell->index);
+            });
+        }
+    }
+    pool_.wait_idle();  // rethrows the first repetition failure, if any
+
+    for (ScenarioAggregator* agg : aggregators) agg->finish();
+
+    ScenarioGridResult result;
+    result.cells = std::move(emitted);
+    result.artifacts = std::move(artifacts);
+    result.reps_executed = cells.size() * static_cast<std::size_t>(reps);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+// ---------------------------------------------------------- aggregators --
+
+ScenarioCsvAggregator::ScenarioCsvAggregator(std::ostream& os) : os_(os) {}
+
+void ScenarioCsvAggregator::on_cell(const ScenarioCellResult& cell) {
+    if (!header_written_) {
+        os_ << "config,scenario_index,policy_index,scenario,policy,planned,completed,"
+               "all_completed,mean_tt,p50_tt,p95_tt,p99_tt,mean_queue,mean_slowdown,"
+               "mean_utilization,throughput,migrations_per_quantum\n";
+        header_written_ = true;
+    }
+    const ScenarioSummary& s = cell.summary;
+    os_ << cell.config_index << ',' << cell.scenario_index << ',' << cell.policy_index
+        << ',' << cell.scenario << ',' << cell.policy << ',' << s.planned_tasks << ','
+        << s.completed_tasks << ',' << (s.all_completed ? 1 : 0) << ',' << s.mean_turnaround
+        << ',' << s.p50_turnaround << ',' << s.p95_turnaround << ',' << s.p99_turnaround
+        << ',' << s.mean_queue << ',' << s.mean_slowdown << ',' << s.mean_utilization << ','
+        << s.throughput << ',' << s.migrations_per_quantum << '\n';
+}
+
+void ScenarioCsvAggregator::finish() { os_.flush(); }
+
+UtilizationSeriesAggregator::UtilizationSeriesAggregator(std::size_t buckets)
+    : buckets_(std::max<std::size_t>(buckets, 1)) {}
+
+void UtilizationSeriesAggregator::on_cell(const ScenarioCellResult& cell) {
+    Series series;
+    series.scenario = cell.scenario;
+    series.policy = cell.policy;
+    series.mean_utilization.assign(buckets_, 0.0);
+    std::vector<std::size_t> counts(buckets_, 0);
+    for (const scenario::ScenarioResult& run : cell.runs) {
+        if (run.timeline.empty()) continue;
+        const auto span = static_cast<double>(run.timeline.size());
+        for (const scenario::QuantumSample& sample : run.timeline) {
+            const auto bucket = std::min(
+                buckets_ - 1, static_cast<std::size_t>(
+                                  static_cast<double>(sample.quantum) / span *
+                                  static_cast<double>(buckets_)));
+            series.mean_utilization[bucket] += sample.utilization;
+            ++counts[bucket];
+        }
+    }
+    for (std::size_t b = 0; b < buckets_; ++b)
+        if (counts[b] > 0)
+            series.mean_utilization[b] /= static_cast<double>(counts[b]);
+    series_.push_back(std::move(series));
+}
+
+void SlowdownAggregator::on_cell(const ScenarioCellResult& cell) {
+    common::RunningStats& stats = stats_[{cell.scenario, cell.policy}];
+    for (const scenario::ScenarioResult& run : cell.runs)
+        for (const scenario::TaskRecord& rec : run.tasks)
+            if (rec.completed) stats.add(rec.slowdown);
+}
+
+void TurnaroundTailAggregator::on_cell(const ScenarioCellResult& cell) {
+    std::vector<double> turnarounds;
+    for (const scenario::ScenarioResult& run : cell.runs)
+        for (const scenario::TaskRecord& rec : run.tasks)
+            if (rec.completed) turnarounds.push_back(rec.turnaround_quanta);
+    Row row;
+    row.scenario = cell.scenario;
+    row.policy = cell.policy;
+    row.samples = turnarounds.size();
+    if (!turnarounds.empty()) {
+        std::sort(turnarounds.begin(), turnarounds.end());
+        row.p50 = common::percentile_sorted(turnarounds, 0.50);
+        row.p95 = common::percentile_sorted(turnarounds, 0.95);
+        row.p99 = common::percentile_sorted(turnarounds, 0.99);
+        row.max = turnarounds.back();
+    }
+    rows_.push_back(std::move(row));
+}
+
+}  // namespace synpa::exp

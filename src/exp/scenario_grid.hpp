@@ -1,0 +1,179 @@
+// Scenario-grid campaigns: the open-system counterpart of exp::Campaign.
+//
+// A ScenarioCampaign declares a (config x scenario x policy x repetition)
+// grid of dynamic-workload runs; ScenarioGridRunner executes every
+// repetition over a persistent thread pool with the same guarantees as the
+// classic engine — deterministic per-rep seeds, scenario traces memoized in
+// the ArtifactCache (shared across policy columns), and finished cells
+// streamed to aggregators in grid order through a reorder buffer, so
+// results are bit-identical for threads=1 and threads=N.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/campaign.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace synpa::exp {
+
+/// Declarative description of a scenario evaluation grid.  Policy columns
+/// reuse exp::PolicySpec, so the classic benches' policy definitions work
+/// unchanged.
+struct ScenarioCampaign {
+    std::string name;
+    std::vector<uarch::SimConfig> configs;
+    std::vector<scenario::ScenarioSpec> scenarios;
+    std::vector<PolicySpec> policies;
+
+    int reps = 1;  ///< repetitions re-sample arrivals (derived seeds)
+    std::uint64_t max_quanta = 20'000;
+    bool record_timelines = true;
+
+    /// Shared artifacts (resolved per config through the ArtifactCache).
+    bool needs_training = false;
+    model::TrainerOptions trainer;
+    std::vector<std::string> training_apps;  ///< empty = workloads::training_apps()
+};
+
+/// Aggregate summary of one grid cell across its repetitions.
+struct ScenarioSummary {
+    std::size_t planned_tasks = 0;
+    std::size_t completed_tasks = 0;
+    bool all_completed = true;
+    double mean_turnaround = 0.0;
+    double p50_turnaround = 0.0;
+    double p95_turnaround = 0.0;  ///< tail latency of turnaround
+    double p99_turnaround = 0.0;
+    double mean_queue = 0.0;       ///< quanta spent waiting for a hardware thread
+    double mean_slowdown = 0.0;    ///< per-task slowdown vs. isolated execution
+    double mean_utilization = 0.0; ///< bound hardware threads / capacity
+    double throughput = 0.0;       ///< completed tasks per executed quantum
+    double migrations_per_quantum = 0.0;
+};
+
+ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs);
+
+/// One finished grid point.
+struct ScenarioCellResult {
+    std::size_t config_index = 0;
+    std::size_t scenario_index = 0;
+    std::size_t policy_index = 0;
+    std::string scenario;
+    std::string policy;  ///< PolicySpec label
+    std::vector<scenario::ScenarioResult> runs;  ///< one per repetition
+    ScenarioSummary summary;
+};
+
+/// Streaming consumer of finished scenario cells (grid order, exactly once).
+class ScenarioAggregator {
+public:
+    virtual ~ScenarioAggregator() = default;
+    virtual void on_cell(const ScenarioCellResult& cell) = 0;
+    virtual void finish() {}
+};
+
+struct ScenarioGridResult {
+    std::vector<ScenarioCellResult> cells;  ///< grid order
+    std::vector<ArtifactSet> artifacts;     ///< one per campaign config
+    std::size_t reps_executed = 0;
+    double wall_seconds = 0.0;
+
+    const ScenarioCellResult* find(const std::string& scenario,
+                                   const std::string& policy) const;
+};
+
+class ScenarioGridRunner {
+public:
+    struct Options {
+        std::size_t threads = 0;      ///< workers; 0 = hardware concurrency
+        std::ostream* log = nullptr;  ///< optional per-cell progress lines
+    };
+
+    ScenarioGridRunner();
+    explicit ScenarioGridRunner(Options opts, ArtifactCache* cache = nullptr);
+
+    ScenarioGridResult run(const ScenarioCampaign& campaign,
+                           const std::vector<ScenarioAggregator*>& aggregators = {});
+
+private:
+    Options opts_;
+    ArtifactCache* cache_;
+    common::ThreadPool pool_;
+};
+
+// ---------------------------------------------------------- aggregators --
+
+/// One CSV row per cell: grid indices, labels, and the full summary.
+class ScenarioCsvAggregator final : public ScenarioAggregator {
+public:
+    explicit ScenarioCsvAggregator(std::ostream& os);
+    void on_cell(const ScenarioCellResult& cell) override;
+    void finish() override;
+
+private:
+    std::ostream& os_;
+    bool header_written_ = false;
+};
+
+/// Time-series utilization: mean utilization per quantum bucket, one series
+/// per (scenario, policy) cell (averaged across repetitions).  Requires
+/// record_timelines.
+class UtilizationSeriesAggregator final : public ScenarioAggregator {
+public:
+    struct Series {
+        std::string scenario;
+        std::string policy;
+        std::vector<double> mean_utilization;  ///< one value per bucket
+    };
+
+    explicit UtilizationSeriesAggregator(std::size_t buckets = 20);
+    void on_cell(const ScenarioCellResult& cell) override;
+    const std::vector<Series>& series() const noexcept { return series_; }
+
+private:
+    std::size_t buckets_;
+    std::vector<Series> series_;
+};
+
+/// Per-task slowdown-vs-isolated distribution per (scenario, policy).
+class SlowdownAggregator final : public ScenarioAggregator {
+public:
+    void on_cell(const ScenarioCellResult& cell) override;
+    /// (scenario, policy) -> running stats over completed tasks' slowdowns.
+    const std::map<std::pair<std::string, std::string>, common::RunningStats>& stats()
+        const noexcept {
+        return stats_;
+    }
+
+private:
+    std::map<std::pair<std::string, std::string>, common::RunningStats> stats_;
+};
+
+/// Turnaround tail latency per (scenario, policy): p50/p95/p99/max over the
+/// pooled completed tasks of every repetition.
+class TurnaroundTailAggregator final : public ScenarioAggregator {
+public:
+    struct Row {
+        std::string scenario;
+        std::string policy;
+        double p50 = 0.0, p95 = 0.0, p99 = 0.0, max = 0.0;
+        std::size_t samples = 0;
+    };
+
+    void on_cell(const ScenarioCellResult& cell) override;
+    const std::vector<Row>& rows() const noexcept { return rows_; }
+
+private:
+    std::vector<Row> rows_;
+};
+
+}  // namespace synpa::exp

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -60,6 +61,13 @@ struct MatchingResult {
 
 /// Interface shared by all matchers.  Implementations must accept any even
 /// n >= 2 within their documented limits and be deterministic.
+///
+/// Odd-N contract: a perfect matching does not exist on an odd vertex count,
+/// so every solver throws std::invalid_argument for odd (or zero) n — none
+/// of them pads silently.  Callers with an odd task count (or more hardware
+/// slots than tasks) must go through min_weight_partial below, which pads
+/// the instance with explicit dummy vertices and reports which vertices run
+/// unmatched.
 class Matcher {
 public:
     virtual ~Matcher() = default;
@@ -96,6 +104,36 @@ public:
 
 /// Recomputes the total weight of `pairs` under `w` (test/report helper).
 double matching_weight(const WeightMatrix& w, const std::vector<std::pair<int, int>>& pairs);
+
+/// An imperfect ("partial") matching: some vertices are paired, the rest run
+/// alone.  `total_weight` sums the chosen pair weights plus the solo weights
+/// of every single.
+struct PartialMatching {
+    std::vector<std::pair<int, int>> pairs;
+    std::vector<int> singles;
+    double total_weight = 0.0;
+};
+
+/// Minimum-cost assignment of n tasks onto `cores` 2-way slots: each core
+/// runs a pair (cost = w(u,v)), a single task (cost = solo[u]), or stays
+/// idle (cost 0).  This is the open-system generalization of the paper's
+/// Step 3: with fewer runnable threads than hardware contexts the allocator
+/// must decide *which* threads run alone, trading a pair's predicted
+/// combined slowdown against the two per-thread "runs alone" terms.
+///
+/// Solved exactly by padding the instance with 2*cores - n dummy vertices
+/// (task–dummy edge = the task's solo weight, dummy–dummy edge = 0) and
+/// handing the even-sized instance to `matcher` — the dummy-node reduction
+/// of imperfect matching to perfect matching.  Requires n <= 2*cores and
+/// solo.size() == n; throws std::invalid_argument otherwise.  n may be odd.
+///
+/// The reduction preserves optimality only for exact matchers: the idle
+/// count is a function of the pair count (idle = cores - n + pairs), so the
+/// 0-weight dummy–dummy edges cannot bias an optimal solver — but a greedy
+/// heuristic grabs those lightest edges first and then force-pairs every
+/// real task.  Pass BlossomMatcher or SubsetDpMatcher here.
+PartialMatching min_weight_partial(const WeightMatrix& w, std::span<const double> solo,
+                                   std::size_t cores, const Matcher& matcher);
 
 /// Hysteresis-aware pair selection for quantum-driven schedulers.
 ///

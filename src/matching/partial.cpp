@@ -1,0 +1,65 @@
+// Imperfect matching via the dummy-node reduction (see matching.hpp).
+//
+// Padding to exactly 2*cores vertices makes every perfect matching of the
+// padded graph a feasible core assignment: task–task edges are real pairs,
+// task–dummy edges are tasks running alone, dummy–dummy edges are idle
+// cores.  Minimality carries over because the padded edge weights *are* the
+// assignment costs.
+#include <algorithm>
+#include <stdexcept>
+
+#include "matching/matching.hpp"
+
+namespace synpa::matching {
+
+PartialMatching min_weight_partial(const WeightMatrix& w, std::span<const double> solo,
+                                   std::size_t cores, const Matcher& matcher) {
+    const std::size_t n = w.size();
+    if (solo.size() != n)
+        throw std::invalid_argument("min_weight_partial: solo weights must cover every task");
+    if (cores == 0) throw std::invalid_argument("min_weight_partial: no cores");
+    if (n > 2 * cores)
+        throw std::invalid_argument("min_weight_partial: more tasks than hardware contexts");
+
+    PartialMatching out;
+    if (n == 0) return out;
+    if (n == 1) {
+        out.singles.push_back(0);
+        out.total_weight = solo[0];
+        return out;
+    }
+
+    const std::size_t dummies = 2 * cores - n;
+    if (dummies == 0) {
+        const MatchingResult perfect = matcher.min_weight_perfect(w);
+        out.pairs = perfect.pairs;
+        out.total_weight = perfect.total_weight;
+        return out;
+    }
+
+    WeightMatrix padded(n + dummies);
+    for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t v = u + 1; v < n; ++v) padded.set(u, v, w.get(u, v));
+        for (std::size_t d = n; d < n + dummies; ++d) padded.set(u, d, solo[u]);
+    }
+    // dummy–dummy edges stay at the fill value 0 (an idle core costs nothing).
+
+    const MatchingResult solved = matcher.min_weight_perfect(padded);
+    for (auto [u, v] : solved.pairs) {
+        const bool u_real = static_cast<std::size_t>(u) < n;
+        const bool v_real = static_cast<std::size_t>(v) < n;
+        if (u_real && v_real) {
+            out.pairs.emplace_back(u, v);
+            out.total_weight += w.get(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
+        } else if (u_real || v_real) {
+            const int task = u_real ? u : v;
+            out.singles.push_back(task);
+            out.total_weight += solo[static_cast<std::size_t>(task)];
+        }
+        // dummy–dummy: an idle core, nothing to report.
+    }
+    std::sort(out.singles.begin(), out.singles.end());
+    return out;
+}
+
+}  // namespace synpa::matching

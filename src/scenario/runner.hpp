@@ -1,0 +1,110 @@
+// The open-system driver: admits arriving tasks onto free hardware
+// threads, retires them when their service demand completes, and lets the
+// allocation policy re-pair the live set every quantum — including partial
+// allocations (cores running a single thread, idle cores) whenever the
+// runnable count differs from 2 x cores.
+//
+// Shares its quantum mechanics (sched/quantum_loop.hpp) with the classic
+// ThreadManager; a kClosed trace is delegated to ThreadManager outright, so
+// a scenario with no arrivals/departures and a full chip reproduces the
+// paper-methodology results bit-identically (asserted in
+// tests/test_scenario.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmu/counters.hpp"
+#include "scenario/scenario.hpp"
+#include "sched/policy.hpp"
+#include "uarch/chip.hpp"
+
+namespace synpa::scenario {
+
+/// Final record for one planned task, in plan (arrival) order.
+struct TaskRecord {
+    int task_id = -1;  ///< -1 when the task was never admitted
+    std::size_t plan_index = 0;
+    std::string app_name;
+    std::uint64_t arrival_quantum = 0;
+    std::uint64_t admit_quantum = 0;   ///< when it got a hardware thread
+    double finish_quantum = -1.0;      ///< fractional; -1 when unfinished
+    std::uint64_t service_insts = 0;
+    double isolated_ipc = 0.0;
+    double turnaround_quanta = 0.0;  ///< finish - arrival (includes queueing)
+    double queue_quanta = 0.0;       ///< admit - arrival
+    double slowdown = 0.0;           ///< turnaround / isolated service time
+    bool completed = false;
+};
+
+/// One per executed quantum (when timeline recording is on).
+struct QuantumSample {
+    std::uint64_t quantum = 0;
+    int live = 0;             ///< tasks holding a hardware thread
+    int queued = 0;           ///< arrived but waiting for a free thread
+    double utilization = 0.0; ///< live / (2 * cores)
+    double aggregate_ipc = 0.0;  ///< sum of per-task IPCs this quantum
+    /// Cumulative core changes so far (open mode; closed-mode timelines
+    /// leave this 0 — the classic manager only reports the run total).
+    std::uint64_t migrations = 0;
+};
+
+struct ScenarioResult {
+    std::string scenario;
+    std::string policy_name;
+    std::vector<TaskRecord> tasks;       ///< plan order
+    std::vector<QuantumSample> timeline; ///< per executed quantum
+    std::uint64_t quanta_executed = 0;
+    std::uint64_t migrations = 0;
+    std::size_t completed_tasks = 0;
+    bool completed = true;  ///< every planned task finished within max_quanta
+    double turnaround_quanta = 0.0;  ///< slowest completed task's finish time
+
+    /// Mean utilization over the executed timeline (0 when not recorded).
+    double mean_utilization() const noexcept;
+};
+
+class ScenarioRunner {
+public:
+    struct Options {
+        std::uint64_t max_quanta = 20'000;  ///< safety cap
+        bool record_timeline = true;
+    };
+
+    /// The trace's tasks may exceed hardware capacity at any instant —
+    /// excess arrivals queue (FIFO) until a thread frees up.
+    ScenarioRunner(uarch::Chip& chip, sched::AllocationPolicy& policy,
+                   const ScenarioTrace& trace)
+        : ScenarioRunner(chip, policy, trace, Options()) {}
+    ScenarioRunner(uarch::Chip& chip, sched::AllocationPolicy& policy,
+                   const ScenarioTrace& trace, Options opts);
+
+    /// Executes the scenario; returns the measured result.
+    ScenarioResult run();
+
+private:
+    struct Live {
+        std::size_t plan_index = 0;
+        std::unique_ptr<apps::AppInstance> task;
+        std::uint64_t admit_quantum = 0;
+        pmu::CounterBank prev_bank;
+        std::uint64_t insts_prev = 0;
+    };
+
+    ScenarioResult run_closed();
+    ScenarioResult run_open();
+    void admit(std::uint64_t quantum);
+    int queued_at(std::uint64_t quantum) const;
+
+    uarch::Chip& chip_;
+    sched::AllocationPolicy& policy_;
+    const ScenarioTrace& trace_;
+    Options opts_;
+    std::vector<Live> live_;       ///< admission order
+    std::size_t next_plan_ = 0;    ///< first not-yet-admitted plan index
+    int next_task_id_ = 1;
+};
+
+}  // namespace synpa::scenario

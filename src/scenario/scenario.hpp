@@ -1,0 +1,107 @@
+// Dynamic workload scenarios: open-system arrivals, variable load, and the
+// closed-system special case that reproduces the paper's methodology.
+//
+// The paper's evaluation (§V) is a closed system — exactly 2 threads per
+// core, finished tasks relaunched instantly.  A ScenarioSpec generalizes
+// that to an open system: an arrival process (Poisson, periodic bursts, or
+// an explicit trace) delivers tasks over time, a piecewise load profile
+// scales the arrival rate, and every task carries its own service demand
+// (target instructions from isolated profiling).  build_trace samples the
+// process into a deterministic ScenarioTrace — the pure function of
+// (spec, config) that the ArtifactCache memoizes — and ScenarioRunner
+// (runner.hpp) executes it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/thread_manager.hpp"
+#include "uarch/sim_config.hpp"
+
+namespace synpa::scenario {
+
+enum class ArrivalProcess {
+    kClosed,   ///< the paper's methodology: fixed slots, relaunch on finish
+    kPoisson,  ///< independent arrivals at `arrival_rate` per quantum
+    kBurst,    ///< `burst_size` arrivals every `burst_period` quanta
+    kTrace,    ///< explicit (quantum, app) arrival list
+};
+
+const char* arrival_process_name(ArrivalProcess p) noexcept;
+
+/// One explicit arrival of a kTrace scenario.
+struct TraceArrival {
+    std::uint64_t quantum = 0;
+    std::string app_name;
+};
+
+/// Piecewise-constant load profile: from `start_quantum` on, the arrival
+/// rate is multiplied by `rate_scale` (until the next phase starts).
+struct LoadPhase {
+    std::uint64_t start_quantum = 0;
+    double rate_scale = 1.0;
+};
+
+struct ScenarioSpec {
+    std::string name;
+    ArrivalProcess process = ArrivalProcess::kPoisson;
+
+    /// Applications drawn uniformly per arrival (kPoisson/kBurst and the
+    /// initial population).  kTrace names its apps explicitly.
+    std::vector<std::string> app_mix;
+
+    std::uint64_t initial_tasks = 0;  ///< tasks already in the system at quantum 0
+    double arrival_rate = 0.0;        ///< kPoisson: mean arrivals per quantum
+    std::vector<LoadPhase> load_profile;  ///< empty = constant rate
+
+    std::uint64_t burst_period = 0;  ///< kBurst: quanta between bursts
+    std::uint64_t burst_size = 0;    ///< kBurst: arrivals per burst
+
+    std::vector<TraceArrival> trace;  ///< kTrace arrivals (any order)
+
+    /// Service demand: each task's target is its application's isolated
+    /// instruction count over `service_quanta`, jittered per task by a
+    /// uniform factor in [1 - service_jitter, 1 + service_jitter].
+    std::uint64_t service_quanta = 30;
+    double service_jitter = 0.3;
+
+    std::uint64_t horizon_quanta = 200;  ///< arrivals stop after this quantum
+    std::uint64_t seed = 42;             ///< drives arrivals, app draws, jitter
+};
+
+/// One sampled task of a scenario: when it arrives, what it runs, and how
+/// much isolated work it must complete.
+struct PlannedTask {
+    std::uint64_t arrival_quantum = 0;
+    std::string app_name;
+    std::uint64_t seed = 1;           ///< behaviour seed of the instance
+    std::uint64_t service_insts = 0;  ///< finish line (retired instructions)
+    double isolated_ipc = 0.0;        ///< from the app's isolated service profile
+};
+
+/// A fully sampled scenario, ready to run.  Tasks are sorted by arrival
+/// quantum (stable), which is also the admission (FIFO) order.
+struct ScenarioTrace {
+    ScenarioSpec spec;
+    std::vector<PlannedTask> tasks;
+};
+
+/// Samples the arrival process, draws each task's application and service
+/// jitter, and profiles each distinct application once in isolation for the
+/// service demand baseline.  Deterministic in (spec, cfg).
+ScenarioTrace build_trace(const ScenarioSpec& spec, const uarch::SimConfig& cfg);
+
+/// Wraps prepared classic-methodology task specs as a kClosed scenario:
+/// every task arrives at quantum 0 and the runner executes the paper's
+/// relaunch-to-hold-load-constant loop (ThreadManager) verbatim.
+ScenarioTrace closed_trace(std::string name, std::span<const sched::TaskSpec> tasks);
+
+/// Deterministic fingerprint over every spec field that can change the
+/// sampled trace or the run — including the arrival seed — used by
+/// exp::ArtifactCache to key memoized traces (two scenarios differing only
+/// in seed must not alias).
+std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) noexcept;
+
+}  // namespace synpa::scenario

@@ -1,6 +1,7 @@
 #include "sched/baselines.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -8,16 +9,23 @@ namespace synpa::sched {
 
 PairAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
                            std::span<const TaskObservation> observations) {
+    return place_on_cores(pairs, observations, pairs.size());
+}
+
+PairAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
+                              std::span<const TaskObservation> observations,
+                              std::size_t cores) {
+    if (entries.size() > cores)
+        throw std::invalid_argument("place_on_cores: more entries than cores");
     std::unordered_map<int, int> core_of;
     for (const TaskObservation& o : observations) core_of[o.task_id] = o.core;
-    const std::size_t cores = pairs.size();
 
-    PairAllocation alloc(cores, {-1, -1});
+    PairAllocation alloc(cores, {kNoTask, kNoTask});
     std::vector<bool> core_used(cores, false);
     std::vector<std::pair<int, int>> unplaced;
 
-    // First pass: pin each pair to a core one member already occupies.
-    for (const auto& pr : pairs) {
+    // First pass: pin each entry to a core one member already occupies.
+    for (const auto& pr : entries) {
         int preferred = -1;
         const auto ita = core_of.find(pr.first);
         const auto itb = core_of.find(pr.second);
@@ -53,14 +61,24 @@ PairAllocation RandomPolicy::reallocate(std::span<const TaskObservation> observa
     // Fisher-Yates with the policy's own deterministic stream.
     for (std::size_t i = ids.size(); i > 1; --i)
         std::swap(ids[i - 1], ids[rng_.below(i)]);
-    std::vector<std::pair<int, int>> pairs;
-    for (std::size_t k = 0; k + 1 < ids.size(); k += 2) pairs.emplace_back(ids[k], ids[k + 1]);
-    return place_pairs(pairs, observations);
+    const int total_cores = observations.empty() ? -1 : observations.front().total_cores;
+    const std::size_t cores =
+        total_cores > 0 ? static_cast<std::size_t>(total_cores) : (ids.size() + 1) / 2;
+    // Under partial load only the overflow beyond one-task-per-core is
+    // forced to share; the rest of the shuffled ids run alone.
+    const std::size_t forced_pairs = ids.size() > cores ? ids.size() - cores : 0;
+    std::vector<std::pair<int, int>> entries;
+    std::size_t k = 0;
+    for (; k + 1 < ids.size() && entries.size() < forced_pairs; k += 2)
+        entries.emplace_back(ids[k], ids[k + 1]);
+    for (; k < ids.size(); ++k) entries.emplace_back(ids[k], kNoTask);
+    return place_on_cores(entries, observations, cores);
 }
 
 OraclePolicy::OraclePolicy(model::InterferenceModel model) : model_(model) {}
 
 PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observations) {
+    if (observations.empty()) return {};
     const std::size_t n = observations.size();
     // True current-phase isolated fractions (oracle-only information).
     std::vector<model::CategoryVector> truth(n);
@@ -81,6 +99,26 @@ PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observa
         for (std::size_t v = u + 1; v < n; ++v)
             w.set(u, v, model_.predict_slowdown(truth[u], truth[v]) +
                             model_.predict_slowdown(truth[v], truth[u]));
+
+    // Partial load (N != 2 * cores): pick pairs and singles with the padded
+    // imperfect-matching path, scoring "runs alone" with the model's
+    // no-co-runner prediction (no hysteresis — the live set churns anyway).
+    const int total_cores = observations.front().total_cores;
+    if (total_cores > 0 && n != 2 * static_cast<std::size_t>(total_cores)) {
+        const model::CategoryVector nobody{};
+        std::vector<double> solo(n);
+        for (std::size_t i = 0; i < n; ++i)
+            solo[i] = model_.predict_slowdown(truth[i], nobody);
+        const matching::PartialMatching sel = matching::min_weight_partial(
+            w, solo, static_cast<std::size_t>(total_cores), matcher_);
+        std::vector<std::pair<int, int>> entries;
+        for (auto [u, v] : sel.pairs)
+            entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
+                                 observations[static_cast<std::size_t>(v)].task_id);
+        for (int u : sel.singles)
+            entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id, kNoTask);
+        return place_on_cores(entries, observations, static_cast<std::size_t>(total_cores));
+    }
 
     // Current pairing in index space, for the same hysteresis SYNPA uses.
     std::unordered_map<int, std::size_t> index_of;
@@ -119,6 +157,19 @@ SamplingPolicy::SlotPairing SamplingPolicy::random_pairing(std::size_t n) {
 PairAllocation SamplingPolicy::reallocate(std::span<const TaskObservation> observations) {
     const std::size_t n = observations.size();
 
+    // Open-system churn: slot-space pairings become stale when the live-set
+    // size changes in either direction (a pairing sampled for fewer slots
+    // must not be replayed after arrivals), so restart the sampling cycle.
+    if (sampled_n_ != n) {
+        sampled_n_ = n;
+        current_.clear();
+        best_.clear();
+        best_score_ = -1.0;
+        samples_taken_ = 0;
+        phase_left_ = 0;
+        exploring_ = true;
+    }
+
     // Score the configuration that just ran: aggregate IPC over the quantum
     // (what a measurement-based scheduler can actually observe).
     if (!current_.empty()) {
@@ -151,10 +202,19 @@ PairAllocation SamplingPolicy::reallocate(std::span<const TaskObservation> obser
 
     std::vector<std::pair<int, int>> id_pairs;
     id_pairs.reserve(current_.size());
-    for (auto [a, b] : current_)
+    std::vector<bool> covered(n, false);
+    for (auto [a, b] : current_) {
         id_pairs.emplace_back(observations[static_cast<std::size_t>(a)].task_id,
                               observations[static_cast<std::size_t>(b)].task_id);
-    return place_pairs(id_pairs, observations);
+        covered[static_cast<std::size_t>(a)] = covered[static_cast<std::size_t>(b)] = true;
+    }
+    // Odd n: the slot random_pairing left out runs alone.
+    for (std::size_t i = 0; i < n; ++i)
+        if (!covered[i]) id_pairs.emplace_back(observations[i].task_id, kNoTask);
+    const int total_cores = observations.empty() ? -1 : observations.front().total_cores;
+    const std::size_t cores =
+        total_cores > 0 ? static_cast<std::size_t>(total_cores) : id_pairs.size();
+    return place_on_cores(id_pairs, observations, cores);
 }
 
 void SamplingPolicy::on_task_replaced(int, int) {

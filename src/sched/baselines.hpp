@@ -82,6 +82,7 @@ private:
     Options opts_;
     int phase_left_ = 0;          ///< quanta remaining in the current phase
     bool exploring_ = true;
+    std::size_t sampled_n_ = 0;   ///< live-set size the pairings were sampled for
     SlotPairing current_;         ///< configuration running this quantum
     SlotPairing best_;
     double best_score_ = -1.0;
@@ -90,7 +91,17 @@ private:
 
 /// Maps chosen pairs onto cores, keeping each pair on a core one of its
 /// members already occupies whenever possible (minimizes migrations).
+/// Entries may be partial ({task, kNoTask}); the result covers exactly
+/// `pairs.size()` cores.
 PairAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
                            std::span<const TaskObservation> observations);
+
+/// Like place_pairs but places onto an explicit number of cores: entries
+/// (full pairs and {task, kNoTask} singles) keep an incumbent core when one
+/// is free, the rest fill the remaining cores in order, and left-over cores
+/// idle ({kNoTask, kNoTask}).  Throws when entries outnumber cores.
+PairAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
+                              std::span<const TaskObservation> observations,
+                              std::size_t cores);
 
 }  // namespace synpa::sched

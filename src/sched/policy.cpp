@@ -7,27 +7,44 @@
 namespace synpa::sched {
 
 PairAllocation AllocationPolicy::initial_allocation(std::span<const int> task_ids) {
-    if (task_ids.size() % 2 != 0)
-        throw std::invalid_argument("initial_allocation: odd task count");
-    const std::size_t half = task_ids.size() / 2;
+    if (task_ids.empty())
+        throw std::invalid_argument("initial_allocation: no tasks");
+    // Spread first, then double up: task k pairs with task k + ceil(N/2).
+    // Even N reproduces the paper's Linux layout exactly; odd N leaves the
+    // middle task on a core of its own.
+    const std::size_t half = (task_ids.size() + 1) / 2;
     PairAllocation alloc;
     alloc.reserve(half);
     for (std::size_t k = 0; k < half; ++k)
-        alloc.emplace_back(task_ids[k], task_ids[k + half]);
+        alloc.emplace_back(task_ids[k],
+                           k + half < task_ids.size() ? task_ids[k + half] : kNoTask);
     return alloc;
 }
 
 PairAllocation AllocationPolicy::reallocate(std::span<const TaskObservation> observations) {
-    return current_allocation(observations);
+    const int cores = observations.empty() ? -1 : observations.front().total_cores;
+    return current_allocation(observations, cores);
 }
 
 void AllocationPolicy::on_task_replaced(int, int) {}
 
-PairAllocation current_allocation(std::span<const TaskObservation> observations) {
+void AllocationPolicy::on_task_finished(int) {}
+
+PairAllocation current_allocation(std::span<const TaskObservation> observations,
+                                  int total_cores) {
     std::map<int, std::pair<int, int>> by_core;
     for (const TaskObservation& o : observations) {
-        auto [it, inserted] = by_core.try_emplace(o.core, o.task_id, -1);
+        auto [it, inserted] = by_core.try_emplace(o.core, o.task_id, kNoTask);
         if (!inserted) it->second.second = o.task_id;
+    }
+    if (total_cores >= 0) {
+        PairAllocation alloc(static_cast<std::size_t>(total_cores), {kNoTask, kNoTask});
+        for (const auto& [core, pair] : by_core) {
+            if (core < 0 || core >= total_cores)
+                throw std::invalid_argument("current_allocation: core out of range");
+            alloc[static_cast<std::size_t>(core)] = pair;
+        }
+        return alloc;
     }
     PairAllocation alloc;
     alloc.reserve(by_core.size());

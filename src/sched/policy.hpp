@@ -21,6 +21,9 @@
 
 namespace synpa::sched {
 
+/// Sentinel for an empty SMT slot in a PairAllocation entry.
+inline constexpr int kNoTask = -1;
+
 /// What the manager hands the policy about one task after a quantum.
 struct TaskObservation {
     int task_id = -1;
@@ -28,6 +31,7 @@ struct TaskObservation {
     std::string app_name;
     int core = -1;              ///< core it ran on during the quantum
     int corunner_task_id = -1;  ///< task sharing the core (-1 when alone)
+    int total_cores = -1;       ///< chip core count (-1 when the driver predates it)
     pmu::CounterBank delta;     ///< counter deltas over the quantum
     model::CategoryBreakdown breakdown;  ///< three-step characterization of delta
 
@@ -35,7 +39,18 @@ struct TaskObservation {
     const apps::AppInstance* instance = nullptr;
 };
 
-/// One pair per core, in core order: allocation[c] = {task_a, task_b}.
+/// One entry per core, in core order: allocation[c] = {task_a, task_b}.
+///
+/// Partial-allocation contract (dynamic scenarios): an entry may be
+/// {task, kNoTask} — the core runs a single thread — or {kNoTask, kNoTask}
+/// — the core idles.  {kNoTask, task} is malformed (the occupied slot is
+/// always first).  Every live task must appear exactly once across the
+/// allocation.  The classic methodology driver (ThreadManager) rejects
+/// partial entries because the paper's closed system keeps every core at
+/// two threads; scenario::ScenarioRunner accepts them, so policies that
+/// want to run under open-system load must cope with observation sets
+/// where N != 2 * total_cores (N odd included) and singleton observations
+/// (corunner_task_id == -1).  All in-tree policies do.
 using PairAllocation = std::vector<std::pair<int, int>>;
 
 class AllocationPolicy {
@@ -46,7 +61,9 @@ public:
 
     /// Initial placement, before any measurement exists.  `task_ids` is in
     /// arrival order; the default reproduces the Linux assignment the paper
-    /// observes: task k pairs with task k + N/2 on core k.
+    /// observes: task k pairs with task k + ceil(N/2) on core k, which
+    /// spreads tasks across cores before doubling up.  For odd N the middle
+    /// task runs alone ({task, kNoTask}); the result has ceil(N/2) entries.
     virtual PairAllocation initial_allocation(std::span<const int> task_ids);
 
     /// Called after every quantum; returns next quantum's pairing.  The
@@ -54,12 +71,23 @@ public:
     virtual PairAllocation reallocate(std::span<const TaskObservation> observations);
 
     /// A finished task was replaced by a fresh instance of the same
-    /// application in the same hardware slot.
+    /// application in the same hardware slot (classic methodology mode).
     virtual void on_task_replaced(int old_task_id, int new_task_id);
+
+    /// A task left the system for good (open-system retirement).  Policies
+    /// holding per-task state should drop it; the id is never reused within
+    /// a run.
+    virtual void on_task_finished(int task_id);
 };
 
 /// Reconstructs the current pairing from a set of observations (helper
-/// shared by the keep-current default and several policies).
-PairAllocation current_allocation(std::span<const TaskObservation> observations);
+/// shared by the keep-current default and several policies).  When
+/// `total_cores` is >= 0 the result is core-aligned: entry c describes core
+/// c, with {kNoTask, kNoTask} for idle cores — re-applying it never
+/// migrates anything.  With the default -1 the (legacy) result lists only
+/// occupied cores, in core order, which coincides with the core-aligned
+/// form exactly when every core is occupied.
+PairAllocation current_allocation(std::span<const TaskObservation> observations,
+                                  int total_cores = -1);
 
 }  // namespace synpa::sched

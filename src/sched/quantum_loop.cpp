@@ -1,0 +1,78 @@
+#include "sched/quantum_loop.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "model/categories.hpp"
+
+namespace synpa::sched {
+
+std::uint64_t bind_allocation(uarch::Chip& chip, const PairAllocation& alloc,
+                              std::span<apps::AppInstance* const> live,
+                              bool require_full_pairs) {
+    if (alloc.size() != static_cast<std::size_t>(chip.core_count()))
+        throw std::runtime_error("bind_allocation: allocation does not cover every core");
+
+    // Validate the allocation is a permutation of the live tasks.
+    std::unordered_map<int, uarch::CpuSlot> target;
+    for (std::size_t c = 0; c < alloc.size(); ++c) {
+        const auto [a, b] = alloc[c];
+        if (a == kNoTask && b == kNoTask) {
+            if (require_full_pairs)
+                throw std::runtime_error("bind_allocation: idle core in a closed system");
+            continue;
+        }
+        if (a == b || a < 0 || (require_full_pairs && b < 0) || (b < 0 && b != kNoTask))
+            throw std::runtime_error("bind_allocation: malformed pair");
+        if (target.contains(a) || (b >= 0 && target.contains(b)))
+            throw std::runtime_error("bind_allocation: task placed twice");
+        target[a] = {.core = static_cast<int>(c), .slot = 0};
+        if (b >= 0) target[b] = {.core = static_cast<int>(c), .slot = 1};
+    }
+    if (target.size() != live.size())
+        throw std::runtime_error("bind_allocation: allocation must place every task once");
+
+    // Count migrations (core changes) before rebinding.
+    std::uint64_t migrations = 0;
+    for (apps::AppInstance* task : live) {
+        const int id = task->id();
+        const auto it = target.find(id);
+        if (it == target.end())
+            throw std::runtime_error("bind_allocation: allocation missing a live task");
+        if (chip.is_bound(id) && chip.placement(id).core != it->second.core) ++migrations;
+    }
+
+    // Rebind: unbind everything, then bind to the new placement.  The chip
+    // only charges a cache-warmup penalty when the core actually changed.
+    for (apps::AppInstance* task : live)
+        if (chip.is_bound(task->id())) chip.unbind(task->id());
+    for (apps::AppInstance* task : live) chip.bind(*task, target.at(task->id()));
+    return migrations;
+}
+
+TaskObservation observe_task(const uarch::Chip& chip, apps::AppInstance& task,
+                             int slot_index, const std::string& app_name,
+                             const pmu::CounterBank& prev_bank) {
+    TaskObservation o;
+    o.task_id = task.id();
+    o.slot_index = slot_index;
+    o.app_name = app_name;
+    const uarch::CpuSlot where = chip.placement(task.id());
+    o.core = where.core;
+    const auto& sibling = chip.core(where.core).slot(where.slot ^ 1);
+    o.corunner_task_id = sibling.bound() ? sibling.task()->id() : -1;
+    o.total_cores = chip.core_count();
+    o.instance = &task;
+    o.delta = task.counters().delta_since(prev_bank);
+    o.breakdown = model::characterize(o.delta, chip.config().dispatch_width);
+    return o;
+}
+
+double finish_fraction(std::uint64_t insts_prev, std::uint64_t insts_now,
+                       std::uint64_t target) {
+    const double progressed = static_cast<double>(insts_now - insts_prev);
+    const double needed = static_cast<double>(target - insts_prev);
+    return progressed > 0.0 ? needed / progressed : 1.0;
+}
+
+}  // namespace synpa::sched

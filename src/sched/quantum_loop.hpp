@@ -1,0 +1,46 @@
+// The quantum-loop primitives shared by the classic methodology driver
+// (ThreadManager) and the open-system driver (scenario::ScenarioRunner).
+//
+// Both drivers execute the same per-quantum cycle — run the chip, observe
+// every live task, let the policy re-pair, rebind — and differ only in what
+// happens at a task's finish line (relaunch-in-place vs. retire) and in how
+// tasks enter the system (fixed slots vs. arrivals).  Keeping the mechanics
+// here guarantees the two modes measure and migrate identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "apps/instance.hpp"
+#include "pmu/counters.hpp"
+#include "sched/policy.hpp"
+#include "uarch/chip.hpp"
+
+namespace synpa::sched {
+
+/// Validates `alloc` (entry c = core c; see the PairAllocation contract in
+/// policy.hpp) against the live tasks — given in stable slot order so the
+/// rebind sequence is deterministic — and applies it to the chip: unbind
+/// everything, then bind to the new placement.  The chip only charges a
+/// cache-warmup penalty where the core actually changed.  Returns the
+/// number of migrations (core changes) this application caused.  With
+/// `require_full_pairs` any kNoTask entry is rejected (the classic closed
+/// system keeps every core at two threads).
+std::uint64_t bind_allocation(uarch::Chip& chip, const PairAllocation& alloc,
+                              std::span<apps::AppInstance* const> live,
+                              bool require_full_pairs);
+
+/// Builds one task's post-quantum observation: placement, co-runner,
+/// counter deltas against `prev_bank`, and the three-step characterization.
+TaskObservation observe_task(const uarch::Chip& chip, apps::AppInstance& task,
+                             int slot_index, const std::string& app_name,
+                             const pmu::CounterBank& prev_bank);
+
+/// Fraction of the just-finished quantum needed to reach `target`
+/// instructions, given the task's cumulative counts at the previous and
+/// current quantum boundaries (1.0 when no progress was made).
+double finish_fraction(std::uint64_t insts_prev, std::uint64_t insts_now,
+                       std::uint64_t target);
+
+}  // namespace synpa::sched

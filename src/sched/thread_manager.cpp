@@ -6,6 +6,7 @@
 
 #include "apps/spec_suite.hpp"
 #include "common/rng.hpp"
+#include "sched/quantum_loop.hpp"
 
 namespace synpa::sched {
 
@@ -26,34 +27,12 @@ ThreadManager::ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
 }
 
 void ThreadManager::apply_allocation(const PairAllocation& alloc) {
-    if (alloc.size() != static_cast<std::size_t>(chip_.core_count()))
-        throw std::runtime_error("ThreadManager: allocation does not cover every core");
-
-    // Validate the allocation is a permutation of the live tasks.
-    std::unordered_map<int, uarch::CpuSlot> target;
-    for (std::size_t c = 0; c < alloc.size(); ++c) {
-        const auto [a, b] = alloc[c];
-        if (a == b || a < 0 || b < 0)
-            throw std::runtime_error("ThreadManager: malformed pair");
-        target[a] = {.core = static_cast<int>(c), .slot = 0};
-        target[b] = {.core = static_cast<int>(c), .slot = 1};
-    }
-    if (target.size() != slots_.size())
-        throw std::runtime_error("ThreadManager: allocation must place every task once");
-
-    // Count migrations (core changes) before rebinding.
-    for (Slot& s : slots_) {
-        const int id = s.task->id();
-        if (!target.contains(id))
-            throw std::runtime_error("ThreadManager: allocation missing a live task");
-        if (chip_.is_bound(id) && chip_.placement(id).core != target[id].core) ++migrations_;
-    }
-
-    // Rebind: unbind everything, then bind to the new placement.  The chip
-    // only charges a cache-warmup penalty when the core actually changed.
-    for (Slot& s : slots_)
-        if (chip_.is_bound(s.task->id())) chip_.unbind(s.task->id());
-    for (Slot& s : slots_) chip_.bind(*s.task, target[s.task->id()]);
+    // The closed system keeps every core at two threads, so partial entries
+    // are rejected (require_full_pairs).
+    std::vector<apps::AppInstance*> live;
+    live.reserve(slots_.size());
+    for (Slot& s : slots_) live.push_back(s.task.get());
+    migrations_ += bind_allocation(chip_, alloc, live, /*require_full_pairs=*/true);
 }
 
 RunResult ThreadManager::run() {
@@ -81,18 +60,8 @@ RunResult ThreadManager::run() {
         std::vector<TaskObservation> obs(slots_.size());
         for (std::size_t s = 0; s < slots_.size(); ++s) {
             Slot& slot = slots_[s];
-            apps::AppInstance& task = *slot.task;
-            TaskObservation& o = obs[s];
-            o.task_id = task.id();
-            o.slot_index = static_cast<int>(s);
-            o.app_name = slot.spec.app_name;
-            const uarch::CpuSlot where = chip_.placement(task.id());
-            o.core = where.core;
-            const auto& sibling = chip_.core(where.core).slot(where.slot ^ 1);
-            o.corunner_task_id = sibling.bound() ? sibling.task()->id() : -1;
-            o.instance = &task;
-            o.delta = task.counters().delta_since(slot.prev_bank);
-            o.breakdown = model::characterize(o.delta, chip_.config().dispatch_width);
+            obs[s] = observe_task(chip_, *slot.task, static_cast<int>(s),
+                                  slot.spec.app_name, slot.prev_bank);
         }
 
         // Record traces, progress, and finishes.  Relaunches replace task
@@ -132,10 +101,8 @@ RunResult ThreadManager::run() {
                 const std::uint64_t insts_now = task.insts_retired();
                 if (insts_now >= slot.spec.target_insts && slot.spec.target_insts > 0) {
                     // Interpolate the fractional finish quantum.
-                    const double progressed = static_cast<double>(insts_now - insts_prev);
-                    const double needed =
-                        static_cast<double>(slot.spec.target_insts - insts_prev);
-                    const double frac = progressed > 0.0 ? needed / progressed : 1.0;
+                    const double frac =
+                        finish_fraction(insts_prev, insts_now, slot.spec.target_insts);
                     TaskOutcome out;
                     out.app_name = slot.spec.app_name;
                     out.slot_index = static_cast<int>(s);

@@ -172,6 +172,18 @@ TEST(Stats, CoefficientOfVariation) {
     EXPECT_NEAR(coefficient_of_variation(ys), 0.5, 1e-12);
 }
 
+TEST(Stats, PercentileInterpolatesOrderStatistics) {
+    const std::vector<double> xs = {40.0, 10.0, 20.0, 30.0};  // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);  // between 20 and 30
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 2.0), 40.0);  // p clamped to [0, 1]
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.95), percentile(xs, 0.95));
+    EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.5}, 0.99), 7.5);
+}
+
 TEST(Stats, OutlierDiscardReachesCvLimit) {
     std::vector<double> xs = {100, 101, 99, 100, 500};  // one wild sample
     const auto kept = discard_outliers_until_cv(xs, 0.05);

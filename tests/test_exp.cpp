@@ -11,6 +11,7 @@
 #include "exp/aggregators.hpp"
 #include "exp/artifact_cache.hpp"
 #include "exp/campaign.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/baselines.hpp"
 #include "workloads/methodology.hpp"
 
@@ -150,6 +151,38 @@ TEST(ArtifactCache, TrainerRunsExactlyOnceAcrossRepeatedRequests) {
     topts.seed = 4;
     (void)cache.training(cfg, topts, apps);
     EXPECT_EQ(cache.stats().trainer_runs, 2u);
+}
+
+TEST(ArtifactCache, ScenarioArrivalSeedsDoNotAlias) {
+    const uarch::SimConfig cfg = small_config();
+    scenario::ScenarioSpec spec;
+    spec.name = "alias-check";
+    spec.process = scenario::ArrivalProcess::kPoisson;
+    spec.app_mix = {"mcf", "leela_r"};
+    spec.arrival_rate = 0.4;
+    spec.service_quanta = 4;
+    spec.horizon_quanta = 20;
+    spec.seed = 1;
+    scenario::ScenarioSpec reseeded = spec;
+    reseeded.seed = 2;  // differs ONLY in the arrival seed
+
+    exp::ArtifactCache cache;
+    const auto a = cache.scenario_trace(spec, cfg);
+    const auto b = cache.scenario_trace(reseeded, cfg);
+    EXPECT_EQ(cache.stats().scenario_builds, 2u);  // distinct keys, no aliasing
+    EXPECT_NE(a.get(), b.get());
+
+    // Same spec again is a pure cache hit.
+    const auto c = cache.scenario_trace(spec, cfg);
+    EXPECT_EQ(cache.stats().scenario_builds, 2u);
+    EXPECT_EQ(a.get(), c.get());
+
+    // And the traces genuinely differ (different sampled arrivals/seeds).
+    bool differs = a->tasks.size() != b->tasks.size();
+    for (std::size_t i = 0; !differs && i < a->tasks.size(); ++i)
+        differs = a->tasks[i].arrival_quantum != b->tasks[i].arrival_quantum ||
+                  a->tasks[i].seed != b->tasks[i].seed;
+    EXPECT_TRUE(differs);
 }
 
 TEST(Campaign, RunWorkloadWrapperMatchesEngineCell) {

@@ -56,15 +56,111 @@ TEST(WeightMatrixTest, MinMaxWeight) {
 }
 
 TEST(Matchers, RejectOddOrEmpty) {
+    // The documented odd-N contract: every perfect-matching solver throws a
+    // clear error instead of padding silently — odd instances must go
+    // through min_weight_partial.
     const BruteForceMatcher bf;
     const SubsetDpMatcher dp;
     const BlossomMatcher bl;
     for (const Matcher* m : {static_cast<const Matcher*>(&bf),
                              static_cast<const Matcher*>(&dp),
                              static_cast<const Matcher*>(&bl)}) {
-        EXPECT_THROW(m->min_weight_perfect(WeightMatrix(3)), std::invalid_argument);
+        for (const std::size_t odd : {1u, 3u, 5u, 7u}) {
+            EXPECT_THROW(m->min_weight_perfect(random_matrix(odd, odd)),
+                         std::invalid_argument);
+            EXPECT_THROW(m->max_weight_perfect(random_matrix(odd, odd)),
+                         std::invalid_argument);
+        }
         EXPECT_THROW(m->min_weight_perfect(WeightMatrix(0)), std::invalid_argument);
     }
+}
+
+// ---------- partial (imperfect) matching ----------
+
+TEST(PartialMatching, OddCountLeavesTheRightTaskAlone) {
+    // Three tasks, two cores: pairing (0,1) costs 2, any pair with 2 costs
+    // 9; solo costs 1 each.  Optimum: pair (0,1), task 2 alone.
+    WeightMatrix w(3);
+    w.set(0, 1, 2.0);
+    w.set(0, 2, 9.0);
+    w.set(1, 2, 9.0);
+    const std::vector<double> solo = {1.0, 1.0, 1.0};
+    const BlossomMatcher matcher;
+    const PartialMatching m = min_weight_partial(w, solo, 2, matcher);
+    ASSERT_EQ(m.pairs.size(), 1u);
+    EXPECT_EQ(m.pairs[0], std::make_pair(0, 1));
+    ASSERT_EQ(m.singles.size(), 1u);
+    EXPECT_EQ(m.singles[0], 2);
+    EXPECT_DOUBLE_EQ(m.total_weight, 3.0);
+}
+
+TEST(PartialMatching, PrefersSinglesWhenPairsAreExpensive) {
+    // Four tasks, four cores: every pair is worse than two solos, so the
+    // optimum runs everything alone (the "runs alone" benefit term wins).
+    WeightMatrix w(4);
+    for (std::size_t u = 0; u < 4; ++u)
+        for (std::size_t v = u + 1; v < 4; ++v) w.set(u, v, 5.0);
+    const std::vector<double> solo = {1.0, 1.0, 1.0, 1.0};
+    const PartialMatching m = min_weight_partial(w, solo, 4, BlossomMatcher{});
+    EXPECT_TRUE(m.pairs.empty());
+    EXPECT_EQ(m.singles, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_DOUBLE_EQ(m.total_weight, 4.0);
+}
+
+TEST(PartialMatching, ForcedSharingPicksTheCheapestPairs) {
+    // Six tasks, four cores: at least two pairs must share.  Make (0,1) and
+    // (2,3) clearly cheapest.
+    WeightMatrix w(6, 10.0);
+    w.set(0, 1, 2.0);
+    w.set(2, 3, 2.5);
+    const std::vector<double> solo(6, 1.0);
+    const PartialMatching m = min_weight_partial(w, solo, 4, SubsetDpMatcher{});
+    ASSERT_EQ(m.pairs.size(), 2u);
+    ASSERT_EQ(m.singles.size(), 2u);
+    EXPECT_EQ(m.singles, (std::vector<int>{4, 5}));
+    EXPECT_DOUBLE_EQ(m.total_weight, 2.0 + 2.5 + 1.0 + 1.0);
+}
+
+TEST(PartialMatching, FullLoadReducesToPerfectMatching) {
+    const WeightMatrix w = random_matrix(8, 0x11);
+    const std::vector<double> solo(8, 0.0);
+    const BlossomMatcher matcher;
+    const PartialMatching partial = min_weight_partial(w, solo, 4, matcher);
+    const MatchingResult perfect = matcher.min_weight_perfect(w);
+    EXPECT_TRUE(partial.singles.empty());
+    EXPECT_DOUBLE_EQ(partial.total_weight, perfect.total_weight);
+}
+
+TEST(PartialMatching, SolversAgreeOnRandomInstances) {
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        const std::size_t n = 3 + seed % 6;  // 3..8 tasks
+        const std::size_t cores = 4;
+        const WeightMatrix w = random_matrix(n, seed, 1.5, 6.0);
+        Rng rng(seed, 0x50f0);
+        std::vector<double> solo(n);
+        for (double& s : solo) s = rng.uniform(0.8, 1.6);
+        const PartialMatching a = min_weight_partial(w, solo, cores, BlossomMatcher{});
+        const PartialMatching b = min_weight_partial(w, solo, cores, SubsetDpMatcher{});
+        EXPECT_NEAR(a.total_weight, b.total_weight, 1e-9) << "seed " << seed;
+        // Every task appears exactly once across pairs and singles.
+        std::vector<int> seen(n, 0);
+        for (auto [u, v] : a.pairs) {
+            seen[static_cast<std::size_t>(u)] += 1;
+            seen[static_cast<std::size_t>(v)] += 1;
+        }
+        for (int u : a.singles) seen[static_cast<std::size_t>(u)] += 1;
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << "seed " << seed;
+        EXPECT_LE(a.pairs.size() + a.singles.size(), cores);
+    }
+}
+
+TEST(PartialMatching, RejectsOverloadAndBadInputs) {
+    const WeightMatrix w = random_matrix(6, 0x7);
+    const std::vector<double> solo(6, 1.0);
+    EXPECT_THROW(min_weight_partial(w, solo, 2, BlossomMatcher{}), std::invalid_argument);
+    EXPECT_THROW(min_weight_partial(w, std::vector<double>(5, 1.0), 4, BlossomMatcher{}),
+                 std::invalid_argument);
+    EXPECT_THROW(min_weight_partial(w, solo, 0, BlossomMatcher{}), std::invalid_argument);
 }
 
 TEST(Matchers, TrivialTwoVertices) {

@@ -122,6 +122,42 @@ TEST(PerfSession, UnattachedTaskThrows) {
     EXPECT_FALSE(session.attached(9));
 }
 
+TEST(PerfSession, TaskReplacementDoesNotInheritStaleSnapshots) {
+    // Regression: the manager relaunches finished tasks, and a counter
+    // source may reuse an id for the fresh instance whose cumulative
+    // counters restart from zero.  Re-attaching across the replacement must
+    // rebaseline the snapshot — reads after it must report only the new
+    // instance's deltas, never a wrapped difference against the old task's
+    // (larger) cumulative values.
+    FakeSource src;
+    src.banks[1].increment(Event::kCpuCycles, 10'000);
+    src.banks[1].increment(Event::kInstSpec, 5'000);
+    PerfSession session(src);
+    session.attach(1);
+    src.banks[1].increment(Event::kCpuCycles, 500);
+    EXPECT_EQ(session.read(1).value(Event::kCpuCycles), 500u);
+
+    // The task finishes; a fresh instance takes over id 1 from zero.
+    src.banks[1] = CounterBank{};
+    src.banks[1].increment(Event::kCpuCycles, 42);
+    session.detach(1);
+    session.attach(1);
+
+    src.banks[1].increment(Event::kCpuCycles, 8);
+    src.banks[1].increment(Event::kInstSpec, 3);
+    const CounterBank d = session.read(1);
+    EXPECT_EQ(d.value(Event::kCpuCycles), 8u);  // not 42, and no wrap-around
+    EXPECT_EQ(d.value(Event::kInstSpec), 3u);
+
+    // attach() on an already-attached id also rebaselines (same guarantee
+    // without the detach).
+    src.banks[1] = CounterBank{};
+    src.banks[1].increment(Event::kInstSpec, 7);
+    session.attach(1);
+    src.banks[1].increment(Event::kInstSpec, 2);
+    EXPECT_EQ(session.read(1).value(Event::kInstSpec), 2u);
+}
+
 TEST(PerfSession, DetachForgetsSnapshot) {
     FakeSource src;
     src.banks[1];

@@ -1,0 +1,401 @@
+// Tests for the dynamic-scenario engine: trace sampling (arrival processes,
+// load profiles, fingerprints), the open-system runner (admission/queueing,
+// retirement, partial allocations), the closed-mode bit-identity with the
+// classic ThreadManager, the acceptance load sweep, and the scenario grid's
+// thread-count determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/synpa_policy.hpp"
+#include "exp/scenario_grid.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sched/baselines.hpp"
+#include "sched/thread_manager.hpp"
+#include "uarch/chip.hpp"
+
+namespace {
+
+using namespace synpa;
+
+uarch::SimConfig chip4x2_config() {
+    uarch::SimConfig cfg;
+    cfg.cores = 4;  // the paper's 4-core / 2-way evaluation shape
+    cfg.cycles_per_quantum = 4'000;
+    return cfg;
+}
+
+scenario::ScenarioSpec poisson_spec(double rate, std::uint64_t seed = 11) {
+    scenario::ScenarioSpec spec;
+    spec.name = "poisson";
+    spec.process = scenario::ArrivalProcess::kPoisson;
+    spec.app_mix = {"mcf", "leela_r", "gobmk", "nab_r"};
+    spec.arrival_rate = rate;
+    spec.service_quanta = 6;
+    spec.horizon_quanta = 40;
+    spec.seed = seed;
+    return spec;
+}
+
+// ---------- trace sampling ----------
+
+TEST(ScenarioTrace, DeterministicAndSeedSensitive) {
+    const uarch::SimConfig cfg = chip4x2_config();
+    const scenario::ScenarioTrace a = scenario::build_trace(poisson_spec(0.5, 1), cfg);
+    const scenario::ScenarioTrace b = scenario::build_trace(poisson_spec(0.5, 1), cfg);
+    const scenario::ScenarioTrace c = scenario::build_trace(poisson_spec(0.5, 2), cfg);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+        EXPECT_EQ(a.tasks[i].arrival_quantum, b.tasks[i].arrival_quantum);
+        EXPECT_EQ(a.tasks[i].app_name, b.tasks[i].app_name);
+        EXPECT_EQ(a.tasks[i].seed, b.tasks[i].seed);
+        EXPECT_EQ(a.tasks[i].service_insts, b.tasks[i].service_insts);
+    }
+    // A different arrival seed samples a different trace.
+    bool differs = a.tasks.size() != c.tasks.size();
+    for (std::size_t i = 0; !differs && i < a.tasks.size(); ++i)
+        differs = a.tasks[i].arrival_quantum != c.tasks[i].arrival_quantum ||
+                  a.tasks[i].app_name != c.tasks[i].app_name;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioTrace, TasksAreArrivalSortedWithServiceDemands) {
+    const scenario::ScenarioTrace trace =
+        scenario::build_trace(poisson_spec(0.8), chip4x2_config());
+    ASSERT_FALSE(trace.tasks.empty());
+    for (std::size_t i = 1; i < trace.tasks.size(); ++i)
+        EXPECT_LE(trace.tasks[i - 1].arrival_quantum, trace.tasks[i].arrival_quantum);
+    std::set<std::uint64_t> seeds;
+    for (const scenario::PlannedTask& t : trace.tasks) {
+        EXPECT_GT(t.service_insts, 0u);
+        EXPECT_GT(t.isolated_ipc, 0.0);
+        seeds.insert(t.seed);  // every instance gets its own behaviour seed
+    }
+    EXPECT_EQ(seeds.size(), trace.tasks.size());
+}
+
+TEST(ScenarioTrace, LoadProfileScalesArrivals) {
+    scenario::ScenarioSpec spec = poisson_spec(0.5);
+    spec.horizon_quanta = 120;
+    spec.load_profile = {{0, 1.0}, {60, 4.0}};
+    const scenario::ScenarioTrace trace = scenario::build_trace(spec, chip4x2_config());
+    std::size_t low = 0, high = 0;
+    for (const scenario::PlannedTask& t : trace.tasks)
+        (t.arrival_quantum < 60 ? low : high) += 1;
+    EXPECT_GT(high, 2 * low);  // the surge window is 4x the base rate
+}
+
+TEST(ScenarioTrace, BurstProcessArrivesInWaves) {
+    scenario::ScenarioSpec spec;
+    spec.name = "burst";
+    spec.process = scenario::ArrivalProcess::kBurst;
+    spec.app_mix = {"mcf", "leela_r"};
+    spec.burst_period = 10;
+    spec.burst_size = 3;
+    spec.horizon_quanta = 30;
+    spec.service_quanta = 4;
+    const scenario::ScenarioTrace trace = scenario::build_trace(spec, chip4x2_config());
+    ASSERT_EQ(trace.tasks.size(), 9u);  // bursts at 0, 10, 20
+    for (const scenario::PlannedTask& t : trace.tasks)
+        EXPECT_EQ(t.arrival_quantum % 10, 0u);
+}
+
+TEST(ScenarioTrace, FingerprintSeparatesSeedAndShape) {
+    const scenario::ScenarioSpec base = poisson_spec(0.5, 1);
+    scenario::ScenarioSpec reseeded = base;
+    reseeded.seed = 2;
+    scenario::ScenarioSpec reshaped = base;
+    reshaped.load_profile = {{10, 2.0}};
+    EXPECT_EQ(scenario::scenario_fingerprint(base), scenario::scenario_fingerprint(base));
+    EXPECT_NE(scenario::scenario_fingerprint(base), scenario::scenario_fingerprint(reseeded));
+    EXPECT_NE(scenario::scenario_fingerprint(base), scenario::scenario_fingerprint(reshaped));
+}
+
+// ---------- closed mode: bit-identical with the classic manager ----------
+
+std::vector<sched::TaskSpec> classic_workload() {
+    return {
+        {.app_name = "nab_r", .seed = 1, .target_insts = 30'000, .isolated_ipc = 2.0},
+        {.app_name = "mcf", .seed = 2, .target_insts = 30'000, .isolated_ipc = 0.6},
+        {.app_name = "gobmk", .seed = 3, .target_insts = 30'000, .isolated_ipc = 1.0},
+        {.app_name = "bwaves", .seed = 4, .target_insts = 30'000, .isolated_ipc = 1.7},
+        {.app_name = "leela_r", .seed = 5, .target_insts = 30'000, .isolated_ipc = 1.1},
+        {.app_name = "hmmer", .seed = 6, .target_insts = 30'000, .isolated_ipc = 1.9},
+        {.app_name = "lbm_r", .seed = 7, .target_insts = 30'000, .isolated_ipc = 0.8},
+        {.app_name = "astar", .seed = 8, .target_insts = 30'000, .isolated_ipc = 1.2},
+    };
+}
+
+template <class MakePolicy>
+void expect_closed_matches_classic(MakePolicy make_policy) {
+    const uarch::SimConfig cfg = chip4x2_config();
+    const std::vector<sched::TaskSpec> specs = classic_workload();
+
+    uarch::Chip classic_chip(cfg);
+    auto classic_policy = make_policy();
+    sched::ThreadManager manager(classic_chip, *classic_policy, specs);
+    const sched::RunResult classic = manager.run();
+
+    uarch::Chip scenario_chip(cfg);
+    auto scenario_policy = make_policy();
+    const scenario::ScenarioTrace trace = scenario::closed_trace("classic", specs);
+    scenario::ScenarioRunner runner(scenario_chip, *scenario_policy, trace);
+    const scenario::ScenarioResult result = runner.run();
+
+    // Bit-identical reproduction of the classic methodology results.
+    ASSERT_TRUE(classic.completed);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.turnaround_quanta, classic.turnaround_quanta);
+    EXPECT_EQ(result.quanta_executed, classic.quanta_executed);
+    EXPECT_EQ(result.migrations, classic.migrations);
+    ASSERT_EQ(result.tasks.size(), classic.outcomes.size());
+    for (const sched::TaskOutcome& out : classic.outcomes) {
+        const scenario::TaskRecord& rec =
+            result.tasks[static_cast<std::size_t>(out.slot_index)];
+        EXPECT_EQ(rec.finish_quantum, out.finish_quantum);  // exact doubles
+        EXPECT_EQ(rec.turnaround_quanta, out.finish_quantum);
+        EXPECT_TRUE(rec.completed);
+    }
+}
+
+TEST(ScenarioRunner, ClosedModeMatchesThreadManagerUnderLinux) {
+    expect_closed_matches_classic([] { return std::make_unique<sched::LinuxPolicy>(); });
+}
+
+TEST(ScenarioRunner, ClosedModeMatchesThreadManagerUnderSynpa) {
+    expect_closed_matches_classic([] {
+        return std::make_unique<core::SynpaPolicy>(model::InterferenceModel::paper_table4());
+    });
+}
+
+// ---------- open system ----------
+
+/// Explicit-trace scenario with `n` tasks all arriving at quantum 0.
+scenario::ScenarioTrace flat_trace(int n, const uarch::SimConfig& cfg) {
+    scenario::ScenarioSpec spec;
+    spec.name = "flat-" + std::to_string(n);
+    spec.process = scenario::ArrivalProcess::kTrace;
+    const std::vector<std::string> apps = {"mcf", "leela_r", "gobmk", "nab_r", "bwaves"};
+    for (int i = 0; i < n; ++i)
+        spec.trace.push_back({0, apps[static_cast<std::size_t>(i) % apps.size()]});
+    spec.service_quanta = 5;
+    spec.horizon_quanta = 10;
+    spec.seed = 5;
+    return scenario::build_trace(spec, cfg);
+}
+
+TEST(ScenarioRunner, PartialLoadRunsSinglesAndCompletes) {
+    const uarch::SimConfig cfg = chip4x2_config();
+    for (const int n : {1, 3, 5, 7}) {  // odd and under-subscribed counts
+        uarch::Chip chip(cfg);
+        core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
+        const scenario::ScenarioTrace trace = flat_trace(n, cfg);
+        scenario::ScenarioRunner runner(chip, policy, trace);
+        const scenario::ScenarioResult result = runner.run();
+        EXPECT_TRUE(result.completed) << n << " tasks";
+        EXPECT_EQ(result.completed_tasks, static_cast<std::size_t>(n));
+        ASSERT_FALSE(result.timeline.empty());
+        for (const scenario::QuantumSample& s : result.timeline) {
+            EXPECT_LE(s.live, n);
+            EXPECT_LE(s.utilization, static_cast<double>(n) / 8.0 + 1e-9);
+        }
+        EXPECT_EQ(chip.bound_tasks().size(), 0u);  // everything retired
+    }
+}
+
+TEST(ScenarioRunner, OverloadQueuesFifoAndDrains) {
+    const uarch::SimConfig cfg = chip4x2_config();
+    uarch::Chip chip(cfg);
+    sched::LinuxPolicy policy;
+    const scenario::ScenarioTrace trace = flat_trace(11, cfg);  // 8 slots + 3 queued
+    scenario::ScenarioRunner runner(chip, policy, trace);
+    const scenario::ScenarioResult result = runner.run();
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.completed_tasks, 11u);
+    ASSERT_FALSE(result.timeline.empty());
+    EXPECT_EQ(result.timeline.front().live, 8);    // chip full...
+    EXPECT_EQ(result.timeline.front().queued, 3);  // ...the rest waiting
+    // FIFO admission: the queued tasks (plan order 8..10) start later.
+    for (std::size_t i = 8; i < 11; ++i) {
+        EXPECT_GT(result.tasks[i].admit_quantum, 0u);
+        EXPECT_GT(result.tasks[i].queue_quanta, 0.0);
+    }
+}
+
+TEST(ScenarioRunner, SamplingPolicySurvivesLiveSetGrowth) {
+    // Regression: a pairing sampled while few tasks were live must not be
+    // replayed after arrivals grow the set (it used to overflow the core
+    // count).  Start with 2 tasks, then a burst of 6 more.
+    const uarch::SimConfig cfg = chip4x2_config();
+    scenario::ScenarioSpec spec;
+    spec.name = "growth";
+    spec.process = scenario::ArrivalProcess::kBurst;
+    spec.app_mix = {"mcf", "leela_r", "gobmk"};
+    spec.initial_tasks = 2;
+    spec.burst_period = 12;
+    spec.burst_size = 6;
+    spec.horizon_quanta = 13;  // one burst after the quiet start
+    spec.service_quanta = 6;
+    spec.seed = 21;
+    const scenario::ScenarioTrace trace = scenario::build_trace(spec, cfg);
+
+    uarch::Chip chip(cfg);
+    sched::SamplingPolicy policy(5, {.explore_quanta = 3, .exploit_quanta = 6});
+    scenario::ScenarioRunner runner(chip, policy, trace);
+    const scenario::ScenarioResult result = runner.run();
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.completed_tasks, trace.tasks.size());
+}
+
+TEST(ScenarioRunner, OpenSystemIsDeterministic) {
+    const uarch::SimConfig cfg = chip4x2_config();
+    const auto run_once = [&cfg] {
+        uarch::Chip chip(cfg);
+        core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
+        const scenario::ScenarioTrace trace =
+            scenario::build_trace(poisson_spec(0.9), cfg);
+        return scenario::ScenarioRunner(chip, policy, trace).run();
+    };
+    const scenario::ScenarioResult a = run_once();
+    const scenario::ScenarioResult b = run_once();
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.quanta_executed, b.quanta_executed);
+    for (std::size_t i = 0; i < a.tasks.size(); ++i)
+        EXPECT_EQ(a.tasks[i].finish_quantum, b.tasks[i].finish_quantum);
+}
+
+// ---------- the acceptance load sweep ----------
+
+TEST(ScenarioRunner, LoadSweepCompletesUnderEveryPolicy) {
+    // Arrival rates yielding average runnable threads of 4, 6, 7, 8 and 10
+    // on the 4-core/2-way chip (runnable = rate x isolated service time;
+    // 10 oversubscribes the 8 hardware threads, exercising the queue).
+    const uarch::SimConfig cfg = chip4x2_config();
+    const double service = 6.0;  // spec.service_quanta below
+    for (const double runnable : {4.0, 6.0, 7.0, 8.0, 10.0}) {
+        scenario::ScenarioSpec spec = poisson_spec(runnable / service);
+        spec.name = "runnable-" + std::to_string(runnable);
+        spec.service_quanta = static_cast<std::uint64_t>(service);
+        spec.initial_tasks = static_cast<std::uint64_t>(std::min(runnable, 8.0));
+        spec.horizon_quanta = 30;
+        const scenario::ScenarioTrace trace = scenario::build_trace(spec, cfg);
+
+        const auto policies = std::vector<std::function<
+            std::unique_ptr<sched::AllocationPolicy>()>>{
+            [] {
+                return std::make_unique<core::SynpaPolicy>(
+                    model::InterferenceModel::paper_table4());
+            },
+            [] { return std::make_unique<sched::RandomPolicy>(3); },
+            [] { return std::make_unique<sched::LinuxPolicy>(); },  // no migration
+        };
+        for (const auto& make_policy : policies) {
+            uarch::Chip chip(cfg);
+            auto policy = make_policy();
+            scenario::ScenarioRunner runner(chip, *policy, trace, {.max_quanta = 10'000});
+            const scenario::ScenarioResult result = runner.run();
+            EXPECT_TRUE(result.completed)
+                << spec.name << " under " << result.policy_name;
+            EXPECT_EQ(result.completed_tasks, trace.tasks.size());
+        }
+    }
+}
+
+// ---------- scenario grid ----------
+
+TEST(ScenarioGrid, DeterministicAcrossThreadCounts) {
+    exp::ScenarioCampaign campaign;
+    campaign.name = "grid-test";
+    campaign.configs = {chip4x2_config()};
+    campaign.scenarios = {poisson_spec(0.6, 3), poisson_spec(1.2, 4)};
+    campaign.scenarios[1].name = "poisson-heavy";
+    campaign.policies = {
+        exp::policy("linux",
+                    [](std::uint64_t) { return std::make_unique<sched::LinuxPolicy>(); }),
+        exp::policy("random",
+                    [](std::uint64_t s) { return std::make_unique<sched::RandomPolicy>(s); }),
+    };
+    campaign.reps = 2;
+
+    exp::ArtifactCache cache_serial, cache_parallel;
+    exp::ScenarioGridRunner serial({.threads = 1}, &cache_serial);
+    exp::ScenarioGridRunner parallel({.threads = 8}, &cache_parallel);
+    const exp::ScenarioGridResult a = serial.run(campaign);
+    const exp::ScenarioGridResult b = parallel.run(campaign);
+
+    ASSERT_EQ(a.cells.size(), 4u);
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        EXPECT_EQ(a.cells[i].scenario, b.cells[i].scenario);
+        EXPECT_EQ(a.cells[i].policy, b.cells[i].policy);
+        EXPECT_EQ(a.cells[i].summary.completed_tasks, b.cells[i].summary.completed_tasks);
+        EXPECT_EQ(a.cells[i].summary.mean_turnaround, b.cells[i].summary.mean_turnaround);
+        EXPECT_EQ(a.cells[i].summary.p95_turnaround, b.cells[i].summary.p95_turnaround);
+        EXPECT_EQ(a.cells[i].summary.mean_utilization, b.cells[i].summary.mean_utilization);
+    }
+    // Each scenario's trace is memoized once and shared by both policy
+    // columns; rep > 0 re-samples with a derived seed.
+    EXPECT_EQ(cache_serial.stats().scenario_builds, 4u);  // 2 scenarios x 2 reps
+}
+
+TEST(ScenarioGrid, AggregatorsStreamInGridOrder) {
+    exp::ScenarioCampaign campaign;
+    campaign.name = "agg-test";
+    campaign.configs = {chip4x2_config()};
+    campaign.scenarios = {poisson_spec(0.8, 9)};
+    campaign.policies = {
+        exp::policy("linux",
+                    [](std::uint64_t) { return std::make_unique<sched::LinuxPolicy>(); }),
+        exp::policy("random",
+                    [](std::uint64_t s) { return std::make_unique<sched::RandomPolicy>(s); }),
+    };
+
+    std::ostringstream csv;
+    exp::ScenarioCsvAggregator csv_agg(csv);
+    exp::UtilizationSeriesAggregator util_agg(8);
+    exp::SlowdownAggregator slow_agg;
+    exp::TurnaroundTailAggregator tail_agg;
+    exp::ArtifactCache cache;
+    exp::ScenarioGridRunner runner({.threads = 4}, &cache);
+    runner.run(campaign, {&csv_agg, &util_agg, &slow_agg, &tail_agg});
+
+    const std::string text = csv.str();
+    std::size_t lines = 0;
+    for (char c : text) lines += c == '\n';
+    EXPECT_EQ(lines, 3u);  // header + 2 cells
+    EXPECT_NE(text.find("poisson,linux"), std::string::npos);
+    EXPECT_NE(text.find("poisson,random"), std::string::npos);
+
+    ASSERT_EQ(util_agg.series().size(), 2u);
+    EXPECT_EQ(util_agg.series()[0].policy, "linux");
+    EXPECT_EQ(util_agg.series()[0].mean_utilization.size(), 8u);
+    for (double u : util_agg.series()[0].mean_utilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+
+    ASSERT_EQ(slow_agg.stats().size(), 2u);
+    for (const auto& [key, stats] : slow_agg.stats()) {
+        EXPECT_GT(stats.count(), 0u);
+        EXPECT_GE(stats.mean(), 1.0);  // sharing can only slow tasks down
+    }
+
+    ASSERT_EQ(tail_agg.rows().size(), 2u);
+    for (const auto& row : tail_agg.rows()) {
+        EXPECT_GT(row.samples, 0u);
+        EXPECT_LE(row.p50, row.p95);
+        EXPECT_LE(row.p95, row.p99);
+        EXPECT_LE(row.p99, row.max);
+    }
+}
+
+}  // namespace

@@ -34,10 +34,44 @@ TEST(Policy, DefaultInitialAllocationIsArrivalOrder) {
     EXPECT_EQ(a[3], std::make_pair(13, 17));
 }
 
-TEST(Policy, OddTaskCountRejected) {
+TEST(Policy, OddTaskCountRunsMiddleTaskAlone) {
+    // The partial-allocation contract: odd N spreads like even N (task k
+    // with task k + ceil(N/2)) and the unmatched middle task gets a core of
+    // its own ({task, kNoTask}).
     LinuxPolicy linux_policy;
     const std::vector<int> ids = {1, 2, 3};
-    EXPECT_THROW(linux_policy.initial_allocation(ids), std::invalid_argument);
+    const PairAllocation a = linux_policy.initial_allocation(ids);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a[0], std::make_pair(1, 3));
+    EXPECT_EQ(a[1], std::make_pair(2, kNoTask));
+    EXPECT_THROW(linux_policy.initial_allocation(std::vector<int>{}), std::invalid_argument);
+}
+
+TEST(Policy, CoreAlignedCurrentAllocationKeepsIdleCores) {
+    // Tasks on cores 0 and 2 of a 4-core chip: the core-aligned overload
+    // reports idle cores in place, so re-applying it migrates nothing.
+    std::vector<TaskObservation> obs = {make_obs(1, 0, 2), make_obs(2, 0, 1),
+                                        make_obs(3, 2, -1)};
+    const PairAllocation a = current_allocation(obs, 4);
+    ASSERT_EQ(a.size(), 4u);
+    EXPECT_EQ(a[0], std::make_pair(1, 2));
+    EXPECT_EQ(a[1], std::make_pair(kNoTask, kNoTask));
+    EXPECT_EQ(a[2], std::make_pair(3, kNoTask));
+    EXPECT_EQ(a[3], std::make_pair(kNoTask, kNoTask));
+    // The legacy form (no core count) still compacts occupied cores only.
+    const PairAllocation legacy = current_allocation(obs);
+    ASSERT_EQ(legacy.size(), 2u);
+}
+
+TEST(Policy, PlaceOnCoresHandlesSinglesAndIdleCores) {
+    const std::vector<TaskObservation> obs = {make_obs(1, 0, 2), make_obs(2, 0, 1),
+                                              make_obs(3, 1, -1)};
+    const PairAllocation a = place_on_cores({{3, kNoTask}, {1, 2}}, obs, 4);
+    ASSERT_EQ(a.size(), 4u);
+    EXPECT_EQ(a[1], std::make_pair(3, kNoTask));  // single kept its core
+    EXPECT_EQ(a[0], std::make_pair(1, 2));        // pair kept its core
+    EXPECT_EQ(a[2], std::make_pair(kNoTask, kNoTask));
+    EXPECT_THROW(place_on_cores({{1, 2}, {3, kNoTask}}, obs, 1), std::invalid_argument);
 }
 
 TEST(Policy, CurrentAllocationReconstruction) {
