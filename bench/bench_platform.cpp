@@ -12,7 +12,8 @@ int main() {
     const uarch::SimConfig cfg = uarch::SimConfig::from_env();
 
     common::Table table({"parameter", "value", "paper (ThunderX2 CN9975)"});
-    table.row().add("SMT ways").add(static_cast<long long>(cfg.smt_ways)).add("SMT2 (BIOS)");
+    table.row().add("SMT ways").add(static_cast<long long>(cfg.smt_ways)).add(
+        "BIOS-configurable 1/2/4 (SYNPA_SMT_WAYS)");
     table.row().add("dispatch width").add(static_cast<long long>(cfg.dispatch_width)).add("4");
     table.row().add("ROB size").add(static_cast<long long>(cfg.rob_size)).add("128");
     table.row().add("IQ size").add(static_cast<long long>(cfg.iq_size)).add("60");

@@ -51,7 +51,8 @@ int main() {
         static_cast<std::uint64_t>(common::env_int("SYNPA_SCENARIO_SERVICE_QUANTA", 30));
     const auto horizon =
         static_cast<std::uint64_t>(common::env_int("SYNPA_SCENARIO_HORIZON", 150));
-    const double capacity = static_cast<double>(cfg.cores) * 2.0;
+    const double capacity =
+        static_cast<double>(cfg.cores) * static_cast<double>(cfg.smt_ways);
 
     // A mixed app diet: backend-bound, frontend-bound, and Others, so the
     // allocator has real pairing decisions to make at every load level.

@@ -25,19 +25,41 @@ void SynpaEstimator::observe(std::span<const sched::TaskObservation> observation
     };
 
     for (const auto& o : observations) {
-        if (o.corunner_task_id < 0) {
+        if (o.corunner_task_ids.empty()) {
             // Ran alone: the SMT fractions *are* isolated fractions.
             ema_update(o.task_id, o.breakdown.fractions());
             continue;
         }
-        if (o.corunner_task_id < o.task_id) continue;  // handle each pair once
-        const auto it = by_id.find(o.corunner_task_id);
-        if (it == by_id.end()) continue;
+        if (o.corunner_task_ids.size() == 1) {
+            // A 2-group: one model inversion recovers both isolated vectors.
+            if (o.corunner_task_id < o.task_id) continue;  // handle each pair once
+            const auto it = by_id.find(o.corunner_task_id);
+            if (it == by_id.end()) continue;
+            const model::ModelInverter inverter(model_, opts_.inversion);
+            const model::InversionResult inv =
+                inverter.invert(o.breakdown.fractions(), it->second->breakdown.fractions());
+            ema_update(o.task_id, inv.st_i);
+            ema_update(o.corunner_task_id, inv.st_j);
+            continue;
+        }
+        // A wider group (SMT-4): the pairwise inversion has no exact k-way
+        // analogue, so invert against each co-runner separately and average
+        // the recovered self-vectors.  Each task updates only itself; its
+        // co-runners run the same procedure from their own observations.
         const model::ModelInverter inverter(model_, opts_.inversion);
-        const model::InversionResult inv =
-            inverter.invert(o.breakdown.fractions(), it->second->breakdown.fractions());
-        ema_update(o.task_id, inv.st_i);
-        ema_update(o.corunner_task_id, inv.st_j);
+        model::CategoryVector acc{};
+        int inverted = 0;
+        for (const int partner : o.corunner_task_ids) {
+            const auto it = by_id.find(partner);
+            if (it == by_id.end()) continue;
+            const model::InversionResult inv =
+                inverter.invert(o.breakdown.fractions(), it->second->breakdown.fractions());
+            for (std::size_t c = 0; c < model::kCategoryCount; ++c) acc[c] += inv.st_i[c];
+            ++inverted;
+        }
+        if (inverted == 0) continue;
+        for (double& x : acc) x /= static_cast<double>(inverted);
+        ema_update(o.task_id, acc);
     }
 }
 
@@ -55,6 +77,13 @@ double SynpaEstimator::pair_weight(int task_u, int task_v) const {
 
 double SynpaEstimator::solo_weight(int task_id) const {
     return model_.predict_slowdown(estimate(task_id), model::CategoryVector{});
+}
+
+double SynpaEstimator::group_weight(std::span<const int> task_ids) const {
+    std::vector<model::CategoryVector> members;
+    members.reserve(task_ids.size());
+    for (int id : task_ids) members.push_back(estimate(id));
+    return model::predict_group_slowdown(model_, members);
 }
 
 void SynpaEstimator::forget(int task_id) { estimates_.erase(task_id); }

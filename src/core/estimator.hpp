@@ -54,6 +54,16 @@ public:
     /// allocator weighs against pair slowdowns.
     double solo_weight(int task_id) const;
 
+    /// Predicted combined badness of co-scheduling the whole group on one
+    /// SMT core: for each member, the forward model is evaluated against
+    /// the superposed category pressure of every other member.  Because
+    /// Equation 1 is affine in the co-runner vector, this equals the sum of
+    /// the symmetrized pairwise terms minus (k - 2) solo terms:
+    ///   sum_i s(i | sum_j e_j) = sum_{i != j} s(i|j) - (k-2) * sum_i s(i|0),
+    /// so a 2-group reduces exactly to pair_weight and a 1-group to
+    /// solo_weight (the follow-up paper's pairwise-built group predictor).
+    double group_weight(std::span<const int> task_ids) const;
+
     /// Transfers the estimate across a relaunch (same application, so the
     /// behaviour estimate remains the best prior available).
     void transfer(int old_task_id, int new_task_id);

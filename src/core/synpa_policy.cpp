@@ -91,13 +91,62 @@ std::vector<std::pair<int, int>> SynpaPolicy::select_pairs(
     return matcher().min_weight_perfect(weights).pairs;
 }
 
-sched::PairAllocation SynpaPolicy::reallocate(
+std::vector<std::vector<int>> SynpaPolicy::select_groups(std::span<const int> task_ids,
+                                                         std::size_t cores,
+                                                         std::size_t width) const {
+    const matching::GroupCost cost = [&](std::span<const int> group) {
+        std::vector<int> ids;
+        ids.reserve(group.size());
+        for (const int i : group) ids.push_back(task_ids[static_cast<std::size_t>(i)]);
+        return estimator_.group_weight(ids);
+    };
+    const matching::GroupingResult sel =
+        matching::min_weight_grouping(task_ids.size(), cores, width, cost);
+    return sel.groups;
+}
+
+sched::CoreAllocation SynpaPolicy::reallocate(
     std::span<const sched::TaskObservation> observations) {
+    if (observations.empty()) return {};
     // Step 1: refresh isolated-behaviour estimates from this quantum.
     estimator_.observe(observations);
 
-    // Step 2: predicted combined slowdown for every candidate pair.
     const std::size_t n = observations.size();
+    const std::size_t total_cores = sched::observed_total_cores(observations);
+    const int width = sched::observed_smt_ways(observations);
+
+    // Width 1 (SMT disabled in BIOS): there is no grouping decision — every
+    // task keeps a core of its own.
+    if (width == 1) {
+        std::vector<sched::CoreGroup> entries;
+        entries.reserve(n);
+        for (const auto& o : observations) entries.push_back(sched::CoreGroup{o.task_id});
+        return sched::place_groups(entries, observations, total_cores);
+    }
+
+    // Width > 2 (SMT-4): Step 2+3 become a k-way grouping — group costs are
+    // the estimator's group-slowdown predictor (symmetrized pairwise terms;
+    // singletons score their "runs alone" weight), solved exactly for small
+    // live sets and by deterministic local search beyond.  No hysteresis:
+    // the width-2 near-tie oscillation this guards against is much rarer in
+    // the k-way cost surface, and place_groups still pins survivors.
+    if (width > 2) {
+        std::vector<int> ids;
+        ids.reserve(n);
+        for (const auto& o : observations) ids.push_back(o.task_id);
+        const std::vector<std::vector<int>> groups =
+            select_groups(ids, total_cores, static_cast<std::size_t>(width));
+        std::vector<sched::CoreGroup> entries;
+        entries.reserve(groups.size());
+        for (const auto& group : groups) {
+            sched::CoreGroup g;
+            for (const int i : group) g.add(ids[static_cast<std::size_t>(i)]);
+            entries.push_back(g);
+        }
+        return sched::place_groups(entries, observations, total_cores);
+    }
+
+    // Step 2: predicted combined slowdown for every candidate pair.
     matching::WeightMatrix weights(n);
     for (std::size_t u = 0; u < n; ++u)
         for (std::size_t v = u + 1; v < n; ++v)
@@ -110,8 +159,7 @@ sched::PairAllocation SynpaPolicy::reallocate(
     // decides *which* threads deserve a core of their own.  No hysteresis
     // here: arrivals and departures churn the index space every few quanta
     // anyway, and place_on_cores still pins survivors to incumbent cores.
-    const int total_cores = observations.empty() ? -1 : observations.front().total_cores;
-    if (total_cores > 0 && n != 2 * static_cast<std::size_t>(total_cores)) {
+    if (n != 2 * total_cores) {
         std::vector<double> solo(n);
         for (std::size_t i = 0; i < n; ++i)
             solo[i] = estimator_.solo_weight(observations[i].task_id);
@@ -121,8 +169,8 @@ sched::PairAllocation SynpaPolicy::reallocate(
             opts_.selector == PairSelector::kGreedy
                 ? static_cast<const matching::Matcher&>(blossom_)
                 : matcher();
-        const matching::PartialMatching sel = matching::min_weight_partial(
-            weights, solo, static_cast<std::size_t>(total_cores), exact);
+        const matching::PartialMatching sel =
+            matching::min_weight_partial(weights, solo, total_cores, exact);
         std::vector<std::pair<int, int>> entries;
         for (auto [u, v] : sel.pairs)
             entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
@@ -130,8 +178,7 @@ sched::PairAllocation SynpaPolicy::reallocate(
         for (int u : sel.singles)
             entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
                                  sched::kNoTask);
-        return sched::place_on_cores(entries, observations,
-                                     static_cast<std::size_t>(total_cores));
+        return sched::place_on_cores(entries, observations, total_cores);
     }
 
     // Current pairing in index space, for hysteresis.

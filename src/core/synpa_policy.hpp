@@ -9,6 +9,11 @@
 //            in the paper; exact subset-DP and greedy selectors are
 //            available for the ablation benches) and allocate pairs to
 //            cores, preferring placements that avoid migrations.
+//
+// SMT width is a runtime property: at smt_ways == 2 Step 3 runs the paper's
+// pair solvers unchanged, while wider chips (SMT-4) switch to the k-way
+// grouping of the follow-up work — group costs built from the estimator's
+// symmetrized pairwise terms, solved by matching::min_weight_grouping.
 #pragma once
 
 #include <memory>
@@ -45,7 +50,7 @@ public:
     SynpaPolicy(model::InterferenceModel model, Options opts);
 
     std::string name() const override;
-    sched::PairAllocation reallocate(
+    sched::CoreAllocation reallocate(
         std::span<const sched::TaskObservation> observations) override;
     void on_task_replaced(int old_task_id, int new_task_id) override;
     void on_task_finished(int task_id) override;
@@ -54,6 +59,12 @@ public:
 
     /// Step 2+3 on an explicit weight matrix (exposed for tests/benches).
     std::vector<std::pair<int, int>> select_pairs(const matching::WeightMatrix& weights) const;
+
+    /// Width-generic Step 3 on the current estimates: partitions the given
+    /// task ids into groups of at most `width` over `cores` cores using the
+    /// estimator's group-slowdown predictor (exposed for tests/benches).
+    std::vector<std::vector<int>> select_groups(std::span<const int> task_ids,
+                                                std::size_t cores, std::size_t width) const;
 
     /// The Matcher implementing the configured selector.
     const matching::Matcher& matcher() const;

@@ -192,6 +192,8 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                 done->config_index = cell->config_index;
                 done->workload_index = cell->workload_index;
                 done->policy_index = cell->policy_index;
+                done->cores = campaign.configs[cell->config_index].cores;
+                done->smt_ways = campaign.configs[cell->config_index].smt_ways;
                 done->workload = cell->spec->name;
                 done->policy = cell->policy->label;
                 done->result = aggregate_repetitions(*cell->spec, std::move(cell->runs),

@@ -165,6 +165,8 @@ ScenarioGridResult ScenarioGridRunner::run(
                 done->config_index = cell->config_index;
                 done->scenario_index = cell->scenario_index;
                 done->policy_index = cell->policy_index;
+                done->cores = cfg.cores;
+                done->smt_ways = cfg.smt_ways;
                 done->scenario = campaign.scenarios[cell->scenario_index].name;
                 done->policy = campaign.policies[cell->policy_index].label;
                 done->runs = std::move(cell->runs);
@@ -192,13 +194,14 @@ ScenarioCsvAggregator::ScenarioCsvAggregator(std::ostream& os) : os_(os) {}
 
 void ScenarioCsvAggregator::on_cell(const ScenarioCellResult& cell) {
     if (!header_written_) {
-        os_ << "config,scenario_index,policy_index,scenario,policy,planned,completed,"
-               "all_completed,mean_tt,p50_tt,p95_tt,p99_tt,mean_queue,mean_slowdown,"
-               "mean_utilization,throughput,migrations_per_quantum\n";
+        os_ << "config,cores,smt_ways,scenario_index,policy_index,scenario,policy,"
+               "planned,completed,all_completed,mean_tt,p50_tt,p95_tt,p99_tt,mean_queue,"
+               "mean_slowdown,mean_utilization,throughput,migrations_per_quantum\n";
         header_written_ = true;
     }
     const ScenarioSummary& s = cell.summary;
-    os_ << cell.config_index << ',' << cell.scenario_index << ',' << cell.policy_index
+    os_ << cell.config_index << ',' << cell.cores << ',' << cell.smt_ways << ','
+        << cell.scenario_index << ',' << cell.policy_index
         << ',' << cell.scenario << ',' << cell.policy << ',' << s.planned_tasks << ','
         << s.completed_tasks << ',' << (s.all_completed ? 1 : 0) << ',' << s.mean_turnaround
         << ',' << s.p50_turnaround << ',' << s.p95_turnaround << ',' << s.p99_turnaround

@@ -67,6 +67,8 @@ struct ScenarioCellResult {
     std::size_t config_index = 0;
     std::size_t scenario_index = 0;
     std::size_t policy_index = 0;
+    int cores = 0;     ///< chip shape of the cell's config
+    int smt_ways = 0;  ///< SMT width of the cell's config
     std::string scenario;
     std::string policy;  ///< PolicySpec label
     std::vector<scenario::ScenarioResult> runs;  ///< one per repetition

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -155,5 +156,40 @@ StabilizedSelection stabilized_min_weight(const WeightMatrix& weights,
                                           const Matcher& matcher,
                                           double stability_bias = 0.002,
                                           double keep_threshold = 0.001);
+
+// ------------------------------------------------- k-way core grouping --
+
+/// A width-generic core assignment: every task index 0..n-1 appears in
+/// exactly one group, each group holds 1..width members, and at most
+/// `cores` groups exist (idle cores cost nothing and are not listed).
+/// Groups keep their members ascending and are ordered by first member.
+struct GroupingResult {
+    std::vector<std::vector<int>> groups;
+    double total_weight = 0.0;
+};
+
+/// Cost oracle for one candidate group (ascending member indices,
+/// 1 <= size <= width).  Must be deterministic and finite.
+using GroupCost = std::function<double(std::span<const int>)>;
+
+/// Partitions n tasks into core groups of at most `width` members over at
+/// most `cores` cores, minimizing the summed group cost — the SMT-width-
+/// generic Step 3.  Width 2 is the classical imperfect matching (pair
+/// solvers remain the fast path for that case); width >= 3 is NP-hard
+/// (3-dimensional matching), so:
+///   * n <= kExactGroupingLimit runs an exact subset dynamic program over
+///     vertex bitmasks with a group-count cap, and
+///   * larger n runs a deterministic greedy seeding (each task joins the
+///     group with the cheapest incremental cost) refined by local-search
+///     moves and swaps to a local optimum.
+/// Requires n <= cores * width; throws std::invalid_argument otherwise.
+GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t width,
+                                   const GroupCost& cost);
+
+/// Largest n solved exactly by min_weight_grouping's subset DP.
+inline constexpr std::size_t kExactGroupingLimit = 12;
+
+/// Recomputes the total weight of `groups` under `cost` (test/report helper).
+double grouping_weight(const std::vector<std::vector<int>>& groups, const GroupCost& cost);
 
 }  // namespace synpa::matching

@@ -156,6 +156,7 @@ std::vector<ExtendedSample> ExtendedTrainer::collect_pair_samples(
     const ExtendedProfile& prof_b, std::uint64_t seed_a, std::uint64_t seed_b) const {
     uarch::SimConfig pair_cfg = cfg_;
     pair_cfg.cores = 1;
+    pair_cfg.smt_ways = std::max(pair_cfg.smt_ways, 2);  // pair co-runs need 2 contexts
     uarch::Chip chip(pair_cfg);
     apps::AppInstance ta(/*id=*/1, a, seed_a);
     apps::AppInstance tb(/*id=*/2, b, seed_b);

@@ -30,6 +30,20 @@ InterferenceModel InterferenceModel::paper_table4() {
     return InterferenceModel(coeffs);
 }
 
+double predict_group_slowdown(const InterferenceModel& model,
+                              std::span<const CategoryVector> members) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        CategoryVector pressure{};
+        for (std::size_t j = 0; j < members.size(); ++j) {
+            if (j == i) continue;
+            for (std::size_t c = 0; c < kCategoryCount; ++c) pressure[c] += members[j][c];
+        }
+        total += model.predict_slowdown(members[i], pressure);
+    }
+    return total;
+}
+
 std::string InterferenceModel::to_string() const {
     std::ostringstream os;
     os.setf(std::ios::fixed);

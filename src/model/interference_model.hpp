@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <string>
 
 #include "model/categories.hpp"
@@ -63,5 +64,16 @@ public:
 private:
     std::array<CategoryCoefficients, kCategoryCount> coeffs_{};
 };
+
+/// Predicted combined badness of co-scheduling all `members` on one SMT
+/// core: each member evaluated by Equation 1 against the superposed
+/// category pressure of every other member.  Because Equation 1 is affine
+/// in the co-runner vector, this equals the symmetrized pairwise sums minus
+/// (k - 2) solo terms; a 2-group reduces to the usual both-directions pair
+/// weight and a singleton to the "runs alone" term.  Shared by SYNPA's
+/// estimator (estimated vectors) and the Oracle (true vectors) so the two
+/// predictors cannot diverge.
+double predict_group_slowdown(const InterferenceModel& model,
+                              std::span<const CategoryVector> members);
 
 }  // namespace synpa::model

@@ -138,6 +138,11 @@ std::vector<TrainingSample> Trainer::collect_pair_samples(const apps::AppProfile
                                                           std::uint64_t seed_b) const {
     uarch::SimConfig pair_cfg = cfg_;
     pair_cfg.cores = 1;
+    // Pair training co-runs two threads on one core by construction, so the
+    // training chip needs at least two SMT contexts even when the evaluation
+    // chip is configured SMT-1 (a co-run interference model is width-
+    // independent; the TX2 methodology trains in SMT-2 BIOS mode).
+    pair_cfg.smt_ways = std::max(pair_cfg.smt_ways, 2);
     uarch::Chip chip(pair_cfg);
     // The instances use the same seeds as the profiling runs so their event
     // streams match the isolated reference (same work, different timing).

@@ -20,7 +20,8 @@ ScenarioRunner::ScenarioRunner(uarch::Chip& chip, sched::AllocationPolicy& polic
                                const ScenarioTrace& trace, Options opts)
     : chip_(chip), policy_(policy), trace_(trace), opts_(opts) {
     if (trace_.spec.process == ArrivalProcess::kClosed &&
-        trace_.tasks.size() != static_cast<std::size_t>(chip_.core_count()) * 2)
+        trace_.tasks.size() != static_cast<std::size_t>(chip_.core_count()) *
+                                   static_cast<std::size_t>(chip_.config().smt_ways))
         throw std::invalid_argument("ScenarioRunner: closed scenarios must fill the chip");
     for (std::size_t i = 1; i < trace_.tasks.size(); ++i)
         if (trace_.tasks[i - 1].arrival_quantum > trace_.tasks[i].arrival_quantum)
@@ -108,7 +109,8 @@ int ScenarioRunner::queued_at(std::uint64_t quantum) const {
 }
 
 void ScenarioRunner::admit(std::uint64_t quantum) {
-    const std::size_t capacity = static_cast<std::size_t>(chip_.core_count()) * 2;
+    const std::size_t capacity = static_cast<std::size_t>(chip_.core_count()) *
+                                 static_cast<std::size_t>(chip_.config().smt_ways);
     while (next_plan_ < trace_.tasks.size() &&
            trace_.tasks[next_plan_].arrival_quantum <= quantum &&
            live_.size() < capacity) {
@@ -120,15 +122,19 @@ void ScenarioRunner::admit(std::uint64_t quantum) {
             next_task_id_++, apps::find_app(plan.app_name), plan.seed);
 
         // Spread before doubling up (the CFS behaviour the paper observes):
-        // an arrival takes an empty core when one exists, else the first
-        // free SMT slot.  The policy re-pairs it from the next boundary.
+        // an arrival takes the least-loaded core (ties to the lowest index)
+        // in its lowest free SMT slot.  The policy regroups it from the next
+        // boundary.
         uarch::CpuSlot where{-1, -1};
-        for (int c = 0; c < chip_.core_count() && where.core < 0; ++c)
-            if (!chip_.core(c).slot(0).bound() && !chip_.core(c).slot(1).bound())
-                where = {c, 0};
-        for (int c = 0; c < chip_.core_count() && where.core < 0; ++c)
-            for (int s = 0; s < 2 && where.core < 0; ++s)
-                if (!chip_.core(c).slot(s).bound()) where = {c, s};
+        int best_load = chip_.config().smt_ways;
+        for (int c = 0; c < chip_.core_count(); ++c) {
+            const int load = chip_.core(c).active_threads();
+            if (load >= best_load) continue;
+            best_load = load;
+            int slot = 0;
+            while (chip_.core(c).slot(slot).bound()) ++slot;
+            where = {c, slot};
+        }
         chip_.bind(*lv.task, where);
         live_.push_back(std::move(lv));
         ++next_plan_;
@@ -150,7 +156,7 @@ ScenarioResult ScenarioRunner::run_open() {
     }
 
     const double qcycles = static_cast<double>(chip_.config().cycles_per_quantum);
-    const int capacity = chip_.core_count() * 2;
+    const int capacity = chip_.core_count() * chip_.config().smt_ways;
     std::uint64_t quantum = 0;
 
     while (quantum < opts_.max_quanta) {
@@ -236,16 +242,15 @@ ScenarioResult ScenarioRunner::run_open() {
         // Let the policy re-pair the survivors (partial allocations allowed;
         // a short answer means trailing cores idle).
         if (!live_.empty()) {
-            sched::PairAllocation alloc = policy_.reallocate(obs);
+            sched::CoreAllocation alloc = policy_.reallocate(obs);
             if (alloc.size() > static_cast<std::size_t>(chip_.core_count()))
                 throw std::runtime_error("ScenarioRunner: allocation exceeds core count");
-            alloc.resize(static_cast<std::size_t>(chip_.core_count()),
-                         {sched::kNoTask, sched::kNoTask});
+            alloc.resize(static_cast<std::size_t>(chip_.core_count()));
             std::vector<apps::AppInstance*> tasks;
             tasks.reserve(live_.size());
             for (Live& lv : live_) tasks.push_back(lv.task.get());
             result.migrations +=
-                sched::bind_allocation(chip_, alloc, tasks, /*require_full_pairs=*/false);
+                sched::bind_allocation(chip_, alloc, tasks, /*require_full_groups=*/false);
         }
     }
 

@@ -1,8 +1,8 @@
 // The open-system driver: admits arriving tasks onto free hardware
 // threads, retires them when their service demand completes, and lets the
-// allocation policy re-pair the live set every quantum — including partial
-// allocations (cores running a single thread, idle cores) whenever the
-// runnable count differs from 2 x cores.
+// allocation policy regroup the live set every quantum — including partial
+// allocations (cores running fewer than smt_ways threads, idle cores)
+// whenever the runnable count differs from smt_ways x cores.
 //
 // Shares its quantum mechanics (sched/quantum_loop.hpp) with the classic
 // ThreadManager; a kClosed trace is delegated to ThreadManager outright, so
@@ -44,7 +44,7 @@ struct QuantumSample {
     std::uint64_t quantum = 0;
     int live = 0;             ///< tasks holding a hardware thread
     int queued = 0;           ///< arrived but waiting for a free thread
-    double utilization = 0.0; ///< live / (2 * cores)
+    double utilization = 0.0; ///< live / (smt_ways * cores)
     double aggregate_ipc = 0.0;  ///< sum of per-task IPCs this quantum
     /// Cumulative core changes so far (open mode; closed-mode timelines
     /// leave this 0 — the classic manager only reports the run total).

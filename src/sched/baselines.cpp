@@ -6,78 +6,107 @@
 #include <vector>
 
 namespace synpa::sched {
+namespace {
 
-PairAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
-                           std::span<const TaskObservation> observations) {
-    return place_on_cores(pairs, observations, pairs.size());
+/// Splits `items` into min(cores, items.size()) consecutive groups as
+/// evenly as possible — the first `items mod used` groups get one extra
+/// member, so under partial load only the overflow beyond one-per-core is
+/// forced to share.  The spread invariant shared by RandomPolicy and
+/// SamplingPolicy; throws when the forced group size exceeds `width`.
+std::vector<std::vector<int>> even_spread(const std::vector<int>& items, std::size_t cores,
+                                          std::size_t width, const char* who) {
+    const std::size_t used = std::min(cores, items.size());
+    const std::size_t base = items.size() / used;
+    const std::size_t extra = items.size() % used;
+    if (base + (extra > 0 ? 1 : 0) > width)
+        throw std::invalid_argument(std::string(who) + ": more tasks than SMT contexts");
+    std::vector<std::vector<int>> groups(used);
+    std::size_t k = 0;
+    for (std::size_t g = 0; g < used; ++g) {
+        const std::size_t size = base + (g < extra ? 1 : 0);
+        for (std::size_t s = 0; s < size; ++s) groups[g].push_back(items[k++]);
+    }
+    return groups;
 }
 
-PairAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
+}  // namespace
+
+CoreAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
+                           std::span<const TaskObservation> observations) {
+    return place_groups(from_pairs(pairs), observations, pairs.size());
+}
+
+CoreAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
                               std::span<const TaskObservation> observations,
                               std::size_t cores) {
+    return place_groups(from_pairs(entries), observations, cores);
+}
+
+CoreAllocation place_groups(const std::vector<CoreGroup>& entries,
+                            std::span<const TaskObservation> observations,
+                            std::size_t cores) {
     if (entries.size() > cores)
-        throw std::invalid_argument("place_on_cores: more entries than cores");
+        throw std::invalid_argument("place_groups: more entries than cores");
     std::unordered_map<int, int> core_of;
     for (const TaskObservation& o : observations) core_of[o.task_id] = o.core;
 
-    PairAllocation alloc(cores, {kNoTask, kNoTask});
+    CoreAllocation alloc(cores);
     std::vector<bool> core_used(cores, false);
-    std::vector<std::pair<int, int>> unplaced;
+    std::vector<CoreGroup> unplaced;
 
-    // First pass: pin each entry to a core one member already occupies.
-    for (const auto& pr : entries) {
+    // First pass: pin each entry to a core one member already occupies
+    // (members considered in slot order).
+    for (const CoreGroup& g : entries) {
         int preferred = -1;
-        const auto ita = core_of.find(pr.first);
-        const auto itb = core_of.find(pr.second);
-        if (ita != core_of.end() && ita->second >= 0 &&
-            ita->second < static_cast<int>(cores) &&
-            !core_used[static_cast<std::size_t>(ita->second)])
-            preferred = ita->second;
-        else if (itb != core_of.end() && itb->second >= 0 &&
-                 itb->second < static_cast<int>(cores) &&
-                 !core_used[static_cast<std::size_t>(itb->second)])
-            preferred = itb->second;
+        for (const int member : g.members()) {
+            const auto it = core_of.find(member);
+            if (it != core_of.end() && it->second >= 0 &&
+                it->second < static_cast<int>(cores) &&
+                !core_used[static_cast<std::size_t>(it->second)]) {
+                preferred = it->second;
+                break;
+            }
+        }
         if (preferred >= 0) {
-            alloc[static_cast<std::size_t>(preferred)] = pr;
+            alloc[static_cast<std::size_t>(preferred)] = g;
             core_used[static_cast<std::size_t>(preferred)] = true;
         } else {
-            unplaced.push_back(pr);
+            unplaced.push_back(g);
         }
     }
-    // Second pass: remaining pairs fill remaining cores in order.
+    // Second pass: remaining groups fill remaining cores in order.
     std::size_t next = 0;
-    for (const auto& pr : unplaced) {
+    for (const CoreGroup& g : unplaced) {
         while (next < cores && core_used[next]) ++next;
-        alloc[next] = pr;
+        alloc[next] = g;
         core_used[next] = true;
     }
     return alloc;
 }
 
-PairAllocation RandomPolicy::reallocate(std::span<const TaskObservation> observations) {
+CoreAllocation RandomPolicy::reallocate(std::span<const TaskObservation> observations) {
+    if (observations.empty()) return {};
     std::vector<int> ids;
     ids.reserve(observations.size());
     for (const TaskObservation& o : observations) ids.push_back(o.task_id);
     // Fisher-Yates with the policy's own deterministic stream.
     for (std::size_t i = ids.size(); i > 1; --i)
         std::swap(ids[i - 1], ids[rng_.below(i)]);
-    const int total_cores = observations.empty() ? -1 : observations.front().total_cores;
-    const std::size_t cores =
-        total_cores > 0 ? static_cast<std::size_t>(total_cores) : (ids.size() + 1) / 2;
-    // Under partial load only the overflow beyond one-task-per-core is
-    // forced to share; the rest of the shuffled ids run alone.
-    const std::size_t forced_pairs = ids.size() > cores ? ids.size() - cores : 0;
-    std::vector<std::pair<int, int>> entries;
-    std::size_t k = 0;
-    for (; k + 1 < ids.size() && entries.size() < forced_pairs; k += 2)
-        entries.emplace_back(ids[k], ids[k + 1]);
-    for (; k < ids.size(); ++k) entries.emplace_back(ids[k], kNoTask);
-    return place_on_cores(entries, observations, cores);
+
+    // Spread the shuffled ids as evenly as the width allows.
+    const std::size_t cores = observed_total_cores(observations);
+    const auto width = static_cast<std::size_t>(observed_smt_ways(observations));
+    const std::vector<std::vector<int>> groups =
+        even_spread(ids, cores, width, "RandomPolicy");
+    std::vector<CoreGroup> entries(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        for (const int id : groups[g]) entries[g].add(id);
+    return place_groups(entries, observations, cores);
 }
 
 OraclePolicy::OraclePolicy(model::InterferenceModel model) : model_(model) {}
 
-PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observations) {
+CoreAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observations) {
     if (observations.empty()) return {};
     const std::size_t n = observations.size();
     // True current-phase isolated fractions (oracle-only information).
@@ -94,6 +123,40 @@ PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observa
         }
     }
 
+    const std::size_t total_cores = observed_total_cores(observations);
+    const int width = observed_smt_ways(observations);
+
+    // Width 1: no grouping decision exists — every task stays alone.
+    if (width == 1) {
+        std::vector<CoreGroup> entries;
+        entries.reserve(n);
+        for (const auto& o : observations) entries.push_back(CoreGroup{o.task_id});
+        return place_groups(entries, observations, total_cores);
+    }
+
+    // Width > 2: the k-way grouping with true-category group costs — the
+    // same superposed-pressure predictor SYNPA's estimator uses, fed the
+    // oracle's true vectors instead of estimates.
+    if (width > 2) {
+        const matching::GroupCost cost = [&](std::span<const int> group) {
+            std::vector<model::CategoryVector> members;
+            members.reserve(group.size());
+            for (const int i : group) members.push_back(truth[static_cast<std::size_t>(i)]);
+            return model::predict_group_slowdown(model_, members);
+        };
+        const matching::GroupingResult sel = matching::min_weight_grouping(
+            n, total_cores, static_cast<std::size_t>(width), cost);
+        std::vector<CoreGroup> entries;
+        entries.reserve(sel.groups.size());
+        for (const auto& group : sel.groups) {
+            CoreGroup g;
+            for (const int i : group)
+                g.add(observations[static_cast<std::size_t>(i)].task_id);
+            entries.push_back(g);
+        }
+        return place_groups(entries, observations, total_cores);
+    }
+
     matching::WeightMatrix w(n);
     for (std::size_t u = 0; u < n; ++u)
         for (std::size_t v = u + 1; v < n; ++v)
@@ -103,21 +166,20 @@ PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observa
     // Partial load (N != 2 * cores): pick pairs and singles with the padded
     // imperfect-matching path, scoring "runs alone" with the model's
     // no-co-runner prediction (no hysteresis — the live set churns anyway).
-    const int total_cores = observations.front().total_cores;
-    if (total_cores > 0 && n != 2 * static_cast<std::size_t>(total_cores)) {
+    if (n != 2 * total_cores) {
         const model::CategoryVector nobody{};
         std::vector<double> solo(n);
         for (std::size_t i = 0; i < n; ++i)
             solo[i] = model_.predict_slowdown(truth[i], nobody);
-        const matching::PartialMatching sel = matching::min_weight_partial(
-            w, solo, static_cast<std::size_t>(total_cores), matcher_);
+        const matching::PartialMatching sel =
+            matching::min_weight_partial(w, solo, total_cores, matcher_);
         std::vector<std::pair<int, int>> entries;
         for (auto [u, v] : sel.pairs)
             entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
                                  observations[static_cast<std::size_t>(v)].task_id);
         for (int u : sel.singles)
             entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id, kNoTask);
-        return place_on_cores(entries, observations, static_cast<std::size_t>(total_cores));
+        return place_on_cores(entries, observations, total_cores);
     }
 
     // Current pairing in index space, for the same hysteresis SYNPA uses.
@@ -144,21 +206,28 @@ PairAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observa
 
 namespace synpa::sched {
 
-SamplingPolicy::SlotPairing SamplingPolicy::random_pairing(std::size_t n) {
+SamplingPolicy::SlotGrouping SamplingPolicy::random_grouping(std::size_t n,
+                                                             std::size_t width,
+                                                             std::size_t cores) {
     std::vector<int> slots(n);
     for (std::size_t i = 0; i < n; ++i) slots[i] = static_cast<int>(i);
     for (std::size_t i = n; i > 1; --i)
         std::swap(slots[i - 1], slots[rng_.below(i)]);
-    SlotPairing pairing;
-    for (std::size_t k = 0; k + 1 < n; k += 2) pairing.emplace_back(slots[k], slots[k + 1]);
-    return pairing;
+    // Spread the shuffled slots evenly over min(cores, n) groups (the same
+    // split RandomPolicy uses), so the entry count never exceeds the core
+    // budget no matter how n relates to the width — a chunks-of-width split
+    // would strand n mod width leftovers on cores that do not exist.
+    return even_spread(slots, cores, width, "SamplingPolicy");
 }
 
-PairAllocation SamplingPolicy::reallocate(std::span<const TaskObservation> observations) {
+CoreAllocation SamplingPolicy::reallocate(std::span<const TaskObservation> observations) {
+    if (observations.empty()) return {};
     const std::size_t n = observations.size();
+    const auto width = static_cast<std::size_t>(observed_smt_ways(observations));
+    const std::size_t cores = observed_total_cores(observations);
 
-    // Open-system churn: slot-space pairings become stale when the live-set
-    // size changes in either direction (a pairing sampled for fewer slots
+    // Open-system churn: slot-space groupings become stale when the live-set
+    // size changes in either direction (a grouping sampled for fewer slots
     // must not be replayed after arrivals), so restart the sampling cycle.
     if (sampled_n_ != n) {
         sampled_n_ = n;
@@ -193,32 +262,28 @@ PairAllocation SamplingPolicy::reallocate(std::span<const TaskObservation> obser
     }
 
     if (exploring_) {
-        current_ = random_pairing(n);
+        current_ = random_grouping(n, width, cores);
         ++samples_taken_;
     } else {
         current_ = best_;
         --phase_left_;
     }
 
-    std::vector<std::pair<int, int>> id_pairs;
-    id_pairs.reserve(current_.size());
-    std::vector<bool> covered(n, false);
-    for (auto [a, b] : current_) {
-        id_pairs.emplace_back(observations[static_cast<std::size_t>(a)].task_id,
-                              observations[static_cast<std::size_t>(b)].task_id);
-        covered[static_cast<std::size_t>(a)] = covered[static_cast<std::size_t>(b)] = true;
+    // The even spread covers every slot, so the grouping maps 1:1 to core
+    // entries (at most min(cores, n) of them).
+    std::vector<CoreGroup> entries;
+    entries.reserve(current_.size());
+    for (const auto& group : current_) {
+        CoreGroup g;
+        for (const int slot : group)
+            g.add(observations[static_cast<std::size_t>(slot)].task_id);
+        entries.push_back(g);
     }
-    // Odd n: the slot random_pairing left out runs alone.
-    for (std::size_t i = 0; i < n; ++i)
-        if (!covered[i]) id_pairs.emplace_back(observations[i].task_id, kNoTask);
-    const int total_cores = observations.empty() ? -1 : observations.front().total_cores;
-    const std::size_t cores =
-        total_cores > 0 ? static_cast<std::size_t>(total_cores) : id_pairs.size();
-    return place_on_cores(id_pairs, observations, cores);
+    return place_groups(entries, observations, cores);
 }
 
 void SamplingPolicy::on_task_replaced(int, int) {
-    // Pairings are kept in slot space, so a relaunch needs no remapping;
+    // Groupings are kept in slot space, so a relaunch needs no remapping;
     // the fresh instance simply inherits its predecessor's slot role.
 }
 

@@ -1,16 +1,17 @@
 // Baseline allocation policies.
 //
 //  * LinuxPolicy — the paper's comparison point: behaviour-unaware,
-//    arrival-order pairing (task k with task k + N/2), never migrates; a
-//    relaunched application inherits its predecessor's hardware thread.
-//    This matches the CFS behaviour the paper observes ("once allocated, an
-//    application remains in the core until its execution finishes").
-//  * RandomPolicy — re-pairs uniformly at random every quantum; isolates
-//    how much of SYNPA's win is *informed* pairing rather than mere churn.
+//    arrival-order grouping (tasks spread across cores, then double up),
+//    never migrates; a relaunched application inherits its predecessor's
+//    hardware thread.  This matches the CFS behaviour the paper observes
+//    ("once allocated, an application remains in the core until its
+//    execution finishes").
+//  * RandomPolicy — regroups uniformly at random every quantum; isolates
+//    how much of SYNPA's win is *informed* grouping rather than mere churn.
 //  * OraclePolicy — upper bound: uses the true current-phase isolated
 //    categories of every task (information no real policy has) with the
-//    forward model and exact matching.  Requires calibrated profiles
-//    (workloads::calibrate_suite).
+//    forward model and exact matching/grouping.  Requires calibrated
+//    profiles (workloads::calibrate_suite).
 #pragma once
 
 #include <cstdint>
@@ -34,7 +35,7 @@ class RandomPolicy final : public AllocationPolicy {
 public:
     explicit RandomPolicy(std::uint64_t seed) : rng_(seed, 0x7a2d) {}
     std::string name() const override { return "random"; }
-    PairAllocation reallocate(std::span<const TaskObservation> observations) override;
+    CoreAllocation reallocate(std::span<const TaskObservation> observations) override;
 
 private:
     common::Rng rng_;
@@ -44,7 +45,7 @@ class OraclePolicy final : public AllocationPolicy {
 public:
     explicit OraclePolicy(model::InterferenceModel model);
     std::string name() const override { return "oracle"; }
-    PairAllocation reallocate(std::span<const TaskObservation> observations) override;
+    CoreAllocation reallocate(std::span<const TaskObservation> observations) override;
 
 private:
     model::InterferenceModel model_;
@@ -53,11 +54,12 @@ private:
 
 /// Sampling-based symbiotic scheduler in the spirit of Snavely & Tullsen
 /// [7] (paper §II): instead of a model, it *measures* — it explores a few
-/// random pairings for one quantum each, scores each configuration by the
+/// random groupings for one quantum each, scores each configuration by the
 /// aggregate IPC it delivered, then exploits the best one for a longer
 /// window before re-sampling.  The paper's argument against this family is
 /// the sampling overhead: every explored configuration costs a quantum of
-/// potentially bad pairing, and the sample budget explodes with core count.
+/// potentially bad grouping, and the sample budget explodes with core count
+/// (and even faster with SMT width).
 class SamplingPolicy final : public AllocationPolicy {
 public:
     struct Options {
@@ -70,37 +72,42 @@ public:
     explicit SamplingPolicy(std::uint64_t seed) : SamplingPolicy(seed, Options()) {}
 
     std::string name() const override { return "sampling"; }
-    PairAllocation reallocate(std::span<const TaskObservation> observations) override;
+    CoreAllocation reallocate(std::span<const TaskObservation> observations) override;
     void on_task_replaced(int old_task_id, int new_task_id) override;
 
 private:
-    /// Pairing canonicalized to slot indices so it survives relaunches.
-    using SlotPairing = std::vector<std::pair<int, int>>;
-    SlotPairing random_pairing(std::size_t n);
+    /// Grouping canonicalized to slot indices so it survives relaunches.
+    using SlotGrouping = std::vector<std::vector<int>>;
+    SlotGrouping random_grouping(std::size_t n, std::size_t width, std::size_t cores);
 
     common::Rng rng_;
     Options opts_;
     int phase_left_ = 0;          ///< quanta remaining in the current phase
     bool exploring_ = true;
-    std::size_t sampled_n_ = 0;   ///< live-set size the pairings were sampled for
-    SlotPairing current_;         ///< configuration running this quantum
-    SlotPairing best_;
+    std::size_t sampled_n_ = 0;   ///< live-set size the groupings were sampled for
+    SlotGrouping current_;        ///< configuration running this quantum
+    SlotGrouping best_;
     double best_score_ = -1.0;
     int samples_taken_ = 0;
 };
 
 /// Maps chosen pairs onto cores, keeping each pair on a core one of its
 /// members already occupies whenever possible (minimizes migrations).
-/// Entries may be partial ({task, kNoTask}); the result covers exactly
-/// `pairs.size()` cores.
-PairAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
+/// SMT-2 convenience wrapper around place_groups; entries may be partial
+/// ({task, kNoTask}); the result covers exactly `pairs.size()` cores.
+CoreAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
                            std::span<const TaskObservation> observations);
 
-/// Like place_pairs but places onto an explicit number of cores: entries
-/// (full pairs and {task, kNoTask} singles) keep an incumbent core when one
-/// is free, the rest fill the remaining cores in order, and left-over cores
-/// idle ({kNoTask, kNoTask}).  Throws when entries outnumber cores.
-PairAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
+/// Places chosen groups onto an explicit number of cores: each entry keeps
+/// an incumbent core of one of its members when that core is free, the rest
+/// fill the remaining cores in order, and left-over cores idle (empty
+/// groups).  Throws when entries outnumber cores.
+CoreAllocation place_groups(const std::vector<CoreGroup>& entries,
+                            std::span<const TaskObservation> observations,
+                            std::size_t cores);
+
+/// Deprecated pair-spelling of place_groups, kept for the migration window.
+CoreAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
                               std::span<const TaskObservation> observations,
                               std::size_t cores);
 

@@ -6,50 +6,96 @@
 
 namespace synpa::sched {
 
-PairAllocation AllocationPolicy::initial_allocation(std::span<const int> task_ids) {
-    if (task_ids.empty())
-        throw std::invalid_argument("initial_allocation: no tasks");
-    // Spread first, then double up: task k pairs with task k + ceil(N/2).
-    // Even N reproduces the paper's Linux layout exactly; odd N leaves the
-    // middle task on a core of its own.
-    const std::size_t half = (task_ids.size() + 1) / 2;
-    PairAllocation alloc;
-    alloc.reserve(half);
-    for (std::size_t k = 0; k < half; ++k)
-        alloc.emplace_back(task_ids[k],
-                           k + half < task_ids.size() ? task_ids[k + half] : kNoTask);
+CoreGroup::CoreGroup(std::initializer_list<int> ids) {
+    if (ids.size() > static_cast<std::size_t>(uarch::kMaxSmtWays))
+        throw std::length_error("CoreGroup: more ids than kMaxSmtWays slots");
+    std::size_t s = 0;
+    for (int id : ids) tasks[s++] = id;
+}
+
+void CoreGroup::add(int task_id) {
+    for (int s = 0; s < uarch::kMaxSmtWays; ++s)
+        if (tasks[static_cast<std::size_t>(s)] == kNoTask) {
+            tasks[static_cast<std::size_t>(s)] = task_id;
+            return;
+        }
+    throw std::length_error("CoreGroup::add: group is full");
+}
+
+CoreAllocation from_pairs(const PairAllocation& pairs) {
+    CoreAllocation alloc;
+    alloc.reserve(pairs.size());
+    for (const auto& [a, b] : pairs) alloc.push_back(CoreGroup{a, b});
     return alloc;
 }
 
-PairAllocation AllocationPolicy::reallocate(std::span<const TaskObservation> observations) {
-    const int cores = observations.empty() ? -1 : observations.front().total_cores;
-    return current_allocation(observations, cores);
+PairAllocation to_pairs(const CoreAllocation& alloc) {
+    PairAllocation pairs;
+    pairs.reserve(alloc.size());
+    for (const CoreGroup& g : alloc) {
+        // Check every slot, not just the occupied prefix: a gap-malformed
+        // group ({task, kNoTask, task, ...}) must throw, not silently drop
+        // the task hiding behind the gap.
+        for (int s = 2; s < uarch::kMaxSmtWays; ++s)
+            if (g.tasks[static_cast<std::size_t>(s)] != kNoTask)
+                throw std::invalid_argument("to_pairs: group holds more than two tasks");
+        if (g.tasks[0] == kNoTask && g.tasks[1] != kNoTask)
+            throw std::invalid_argument("to_pairs: malformed group (gap before a task)");
+        pairs.emplace_back(g.tasks[0], g.tasks[1]);
+    }
+    return pairs;
+}
+
+CoreAllocation AllocationPolicy::initial_allocation(std::span<const int> task_ids,
+                                                    int smt_ways) {
+    if (task_ids.empty())
+        throw std::invalid_argument("initial_allocation: no tasks");
+    if (smt_ways < 1 || smt_ways > uarch::kMaxSmtWays)
+        throw std::invalid_argument("initial_allocation: bad smt_ways");
+    // Spread first, then double up: with C = ceil(N/W) cores in play, task k
+    // goes to core k mod C, slot k div C.  Even N at W = 2 reproduces the
+    // paper's Linux layout exactly; the unmatched remainder tasks get the
+    // trailing slots of their own cores.
+    const std::size_t n = task_ids.size();
+    const auto w = static_cast<std::size_t>(smt_ways);
+    const std::size_t cores = (n + w - 1) / w;
+    CoreAllocation alloc(cores);
+    for (std::size_t k = 0; k < n; ++k)
+        alloc[k % cores].tasks[k / cores] = task_ids[k];
+    return alloc;
+}
+
+CoreAllocation AllocationPolicy::reallocate(std::span<const TaskObservation> observations) {
+    if (observations.empty()) return {};
+    return current_allocation(observations, observations.front().total_cores);
 }
 
 void AllocationPolicy::on_task_replaced(int, int) {}
 
 void AllocationPolicy::on_task_finished(int) {}
 
-PairAllocation current_allocation(std::span<const TaskObservation> observations,
+CoreAllocation current_allocation(std::span<const TaskObservation> observations,
                                   int total_cores) {
-    std::map<int, std::pair<int, int>> by_core;
+    if (total_cores <= 0)
+        throw std::invalid_argument("current_allocation: total_cores must be positive");
+    CoreAllocation alloc(static_cast<std::size_t>(total_cores));
     for (const TaskObservation& o : observations) {
-        auto [it, inserted] = by_core.try_emplace(o.core, o.task_id, kNoTask);
-        if (!inserted) it->second.second = o.task_id;
+        if (o.core < 0 || o.core >= total_cores)
+            throw std::invalid_argument("current_allocation: core out of range");
+        alloc[static_cast<std::size_t>(o.core)].add(o.task_id);
     }
-    if (total_cores >= 0) {
-        PairAllocation alloc(static_cast<std::size_t>(total_cores), {kNoTask, kNoTask});
-        for (const auto& [core, pair] : by_core) {
-            if (core < 0 || core >= total_cores)
-                throw std::invalid_argument("current_allocation: core out of range");
-            alloc[static_cast<std::size_t>(core)] = pair;
-        }
-        return alloc;
-    }
-    PairAllocation alloc;
-    alloc.reserve(by_core.size());
-    for (const auto& [core, pair] : by_core) alloc.push_back(pair);
     return alloc;
+}
+
+int observed_smt_ways(std::span<const TaskObservation> observations) noexcept {
+    return observations.empty() ? 2 : observations.front().smt_ways;
+}
+
+std::size_t observed_total_cores(std::span<const TaskObservation> observations) {
+    const int total = observations.empty() ? 0 : observations.front().total_cores;
+    if (total <= 0)
+        throw std::invalid_argument("observed_total_cores: total_cores must be positive");
+    return static_cast<std::size_t>(total);
 }
 
 }  // namespace synpa::sched

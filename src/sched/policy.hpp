@@ -2,13 +2,19 @@
 //
 // The experimental manager (paper §V-A) drives execution in quanta: after
 // each quantum it reads every task's counters, characterizes them, and asks
-// the policy for next quantum's pairing.  Policies see exactly what a
+// the policy for next quantum's grouping.  Policies see exactly what a
 // user-level manager on the ThunderX2 sees — counter deltas and placements —
 // with one exception: TaskObservation carries an instance pointer that only
 // the Oracle baseline is allowed to dereference (it is *not* information a
 // real policy could obtain, and SYNPA never touches it).
+//
+// SMT width is a *runtime* property of the chip (the TX2 BIOS configures
+// SMT-1/2/4), not a property of the types: a CoreAllocation assigns each
+// core a CoreGroup of up to smt_ways tasks, and the same policies drive
+// every width.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -18,11 +24,69 @@
 #include "apps/instance.hpp"
 #include "model/categories.hpp"
 #include "pmu/counters.hpp"
+#include "uarch/sim_config.hpp"
 
 namespace synpa::sched {
 
-/// Sentinel for an empty SMT slot in a PairAllocation entry.
+/// Sentinel for an empty SMT slot in a CoreGroup.
 inline constexpr int kNoTask = -1;
+
+/// The tasks co-scheduled on one SMT core: up to uarch::kMaxSmtWays task
+/// ids, occupied slots first, kNoTask-padded.  How many slots are *legal*
+/// is the chip's runtime smt_ways — bind_allocation rejects groups that
+/// overflow it.  {kNoTask, ...} is an idle core; {task, kNoTask, ...} a
+/// core running a single thread (the partial-allocation contract of the
+/// open-system driver, generalized from the old {task, kNoTask} pairs).
+struct CoreGroup {
+    // The initializer must name one kNoTask per slot: value-initialized
+    // extras would read as task id 0.
+    static_assert(uarch::kMaxSmtWays == 4, "update CoreGroup's default initializer");
+    std::array<int, uarch::kMaxSmtWays> tasks{kNoTask, kNoTask, kNoTask, kNoTask};
+
+    constexpr CoreGroup() = default;
+    /// Builds a group from the given ids in slot order (rest kNoTask).
+    CoreGroup(std::initializer_list<int> ids);
+
+    /// Number of occupied slots (valid groups keep them in front).
+    int occupancy() const noexcept {
+        int n = 0;
+        while (n < uarch::kMaxSmtWays && tasks[static_cast<std::size_t>(n)] != kNoTask) ++n;
+        return n;
+    }
+    bool empty() const noexcept { return tasks[0] == kNoTask; }
+    bool contains(int task_id) const noexcept {
+        for (int t : tasks)
+            if (t == task_id) return task_id != kNoTask;
+        return false;
+    }
+    /// Appends a task in the first free slot; throws std::length_error when
+    /// all kMaxSmtWays slots are taken.
+    void add(int task_id);
+
+    /// The occupied prefix as a span (occupied-slots-first contract).
+    std::span<const int> members() const noexcept {
+        return {tasks.data(), static_cast<std::size_t>(occupancy())};
+    }
+
+    int operator[](std::size_t slot) const { return tasks.at(slot); }
+    friend bool operator==(const CoreGroup&, const CoreGroup&) = default;
+};
+
+/// One entry per core, in core order: allocation[c] = the group running on
+/// core c.  Every live task must appear exactly once across the allocation.
+using CoreAllocation = std::vector<CoreGroup>;
+
+/// Deprecated SMT-2 allocation spelling ({task_a, task_b} per core), kept
+/// for one release so downstream callers can migrate; convert at the
+/// boundary with from_pairs/to_pairs.
+using PairAllocation = std::vector<std::pair<int, int>>;
+
+/// Widens a legacy pair allocation into the width-generic form.
+CoreAllocation from_pairs(const PairAllocation& pairs);
+
+/// Narrows a CoreAllocation back to pairs; throws std::invalid_argument if
+/// any group holds more than two tasks (information would be lost).
+PairAllocation to_pairs(const CoreAllocation& alloc);
 
 /// What the manager hands the policy about one task after a quantum.
 struct TaskObservation {
@@ -30,28 +94,16 @@ struct TaskObservation {
     int slot_index = -1;  ///< stable workload position 0..N-1 (paper's (04) etc.)
     std::string app_name;
     int core = -1;              ///< core it ran on during the quantum
-    int corunner_task_id = -1;  ///< task sharing the core (-1 when alone)
-    int total_cores = -1;       ///< chip core count (-1 when the driver predates it)
+    int corunner_task_id = -1;  ///< first task sharing the core (-1 when alone)
+    std::vector<int> corunner_task_ids;  ///< every task sharing the core, slot order
+    int smt_ways = 2;           ///< the chip's runtime SMT width
+    int total_cores = 0;        ///< chip core count; drivers always populate it
     pmu::CounterBank delta;     ///< counter deltas over the quantum
     model::CategoryBreakdown breakdown;  ///< three-step characterization of delta
 
     /// Oracle-only escape hatch (see file comment).
     const apps::AppInstance* instance = nullptr;
 };
-
-/// One entry per core, in core order: allocation[c] = {task_a, task_b}.
-///
-/// Partial-allocation contract (dynamic scenarios): an entry may be
-/// {task, kNoTask} — the core runs a single thread — or {kNoTask, kNoTask}
-/// — the core idles.  {kNoTask, task} is malformed (the occupied slot is
-/// always first).  Every live task must appear exactly once across the
-/// allocation.  The classic methodology driver (ThreadManager) rejects
-/// partial entries because the paper's closed system keeps every core at
-/// two threads; scenario::ScenarioRunner accepts them, so policies that
-/// want to run under open-system load must cope with observation sets
-/// where N != 2 * total_cores (N odd included) and singleton observations
-/// (corunner_task_id == -1).  All in-tree policies do.
-using PairAllocation = std::vector<std::pair<int, int>>;
 
 class AllocationPolicy {
 public:
@@ -61,14 +113,16 @@ public:
 
     /// Initial placement, before any measurement exists.  `task_ids` is in
     /// arrival order; the default reproduces the Linux assignment the paper
-    /// observes: task k pairs with task k + ceil(N/2) on core k, which
-    /// spreads tasks across cores before doubling up.  For odd N the middle
-    /// task runs alone ({task, kNoTask}); the result has ceil(N/2) entries.
-    virtual PairAllocation initial_allocation(std::span<const int> task_ids);
+    /// observes, generalized to any width: tasks spread across ceil(N/W)
+    /// cores before doubling up, so task k lands on core k mod C, slot
+    /// k div C (C = ceil(N / smt_ways)).  For W = 2 that is the paper's
+    /// "task k pairs with task k + ceil(N/2) on core k" layout exactly.
+    virtual CoreAllocation initial_allocation(std::span<const int> task_ids,
+                                              int smt_ways = 2);
 
-    /// Called after every quantum; returns next quantum's pairing.  The
+    /// Called after every quantum; returns next quantum's grouping.  The
     /// default keeps the current placement (observations carry it).
-    virtual PairAllocation reallocate(std::span<const TaskObservation> observations);
+    virtual CoreAllocation reallocate(std::span<const TaskObservation> observations);
 
     /// A finished task was replaced by a fresh instance of the same
     /// application in the same hardware slot (classic methodology mode).
@@ -80,14 +134,22 @@ public:
     virtual void on_task_finished(int task_id);
 };
 
-/// Reconstructs the current pairing from a set of observations (helper
-/// shared by the keep-current default and several policies).  When
-/// `total_cores` is >= 0 the result is core-aligned: entry c describes core
-/// c, with {kNoTask, kNoTask} for idle cores — re-applying it never
-/// migrates anything.  With the default -1 the (legacy) result lists only
-/// occupied cores, in core order, which coincides with the core-aligned
-/// form exactly when every core is occupied.
-PairAllocation current_allocation(std::span<const TaskObservation> observations,
-                                  int total_cores = -1);
+/// Reconstructs the current grouping from a set of observations (helper
+/// shared by the keep-current default and several policies).  The result is
+/// core-aligned: entry c describes core c, with empty groups for idle cores
+/// — re-applying it never migrates anything.  `total_cores` must be
+/// positive (every driver populates TaskObservation::total_cores; the old
+/// "driver predates it" compact form is gone).
+CoreAllocation current_allocation(std::span<const TaskObservation> observations,
+                                  int total_cores);
+
+/// The SMT width the observations were taken under (2 when `observations`
+/// is empty, matching the historical default).
+int observed_smt_ways(std::span<const TaskObservation> observations) noexcept;
+
+/// The chip core count the observations were taken under.  Throws
+/// std::invalid_argument when the driver failed to populate total_cores —
+/// a clean diagnostic instead of downstream division by zero.
+std::size_t observed_total_cores(std::span<const TaskObservation> observations);
 
 }  // namespace synpa::sched

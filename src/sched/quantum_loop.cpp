@@ -7,27 +7,40 @@
 
 namespace synpa::sched {
 
-std::uint64_t bind_allocation(uarch::Chip& chip, const PairAllocation& alloc,
+std::uint64_t bind_allocation(uarch::Chip& chip, const CoreAllocation& alloc,
                               std::span<apps::AppInstance* const> live,
-                              bool require_full_pairs) {
+                              bool require_full_groups) {
     if (alloc.size() != static_cast<std::size_t>(chip.core_count()))
         throw std::runtime_error("bind_allocation: allocation does not cover every core");
+    const int ways = chip.config().smt_ways;
 
     // Validate the allocation is a permutation of the live tasks.
     std::unordered_map<int, uarch::CpuSlot> target;
     for (std::size_t c = 0; c < alloc.size(); ++c) {
-        const auto [a, b] = alloc[c];
-        if (a == kNoTask && b == kNoTask) {
-            if (require_full_pairs)
+        const CoreGroup& g = alloc[c];
+        const int occ = g.occupancy();
+        if (occ > ways)
+            throw std::runtime_error("bind_allocation: group exceeds the chip's SMT width");
+        // Validate the kNoTask-padded tail first, before any early-out: a
+        // task after a gap ({kNoTask, task, ...}) violates the occupied-
+        // slots-first contract even when the group looks idle (occ == 0).
+        for (int s = occ; s < uarch::kMaxSmtWays; ++s)
+            if (g.tasks[static_cast<std::size_t>(s)] != kNoTask)
+                throw std::runtime_error("bind_allocation: malformed group");
+        if (occ == 0) {
+            if (require_full_groups)
                 throw std::runtime_error("bind_allocation: idle core in a closed system");
             continue;
         }
-        if (a == b || a < 0 || (require_full_pairs && b < 0) || (b < 0 && b != kNoTask))
-            throw std::runtime_error("bind_allocation: malformed pair");
-        if (target.contains(a) || (b >= 0 && target.contains(b)))
-            throw std::runtime_error("bind_allocation: task placed twice");
-        target[a] = {.core = static_cast<int>(c), .slot = 0};
-        if (b >= 0) target[b] = {.core = static_cast<int>(c), .slot = 1};
+        if (require_full_groups && occ != ways)
+            throw std::runtime_error("bind_allocation: underfilled core in a closed system");
+        for (int s = 0; s < occ; ++s) {
+            const int id = g.tasks[static_cast<std::size_t>(s)];
+            if (id < 0) throw std::runtime_error("bind_allocation: malformed group");
+            if (target.contains(id))
+                throw std::runtime_error("bind_allocation: task placed twice");
+            target[id] = {.core = static_cast<int>(c), .slot = s};
+        }
     }
     if (target.size() != live.size())
         throw std::runtime_error("bind_allocation: allocation must place every task once");
@@ -59,8 +72,14 @@ TaskObservation observe_task(const uarch::Chip& chip, apps::AppInstance& task,
     o.app_name = app_name;
     const uarch::CpuSlot where = chip.placement(task.id());
     o.core = where.core;
-    const auto& sibling = chip.core(where.core).slot(where.slot ^ 1);
-    o.corunner_task_id = sibling.bound() ? sibling.task()->id() : -1;
+    const uarch::SmtCore& core = chip.core(where.core);
+    for (int s = 0; s < core.smt_ways(); ++s) {
+        if (s == where.slot) continue;
+        const auto& sibling = core.slot(s);
+        if (sibling.bound()) o.corunner_task_ids.push_back(sibling.task()->id());
+    }
+    o.corunner_task_id = o.corunner_task_ids.empty() ? -1 : o.corunner_task_ids.front();
+    o.smt_ways = chip.config().smt_ways;
     o.total_cores = chip.core_count();
     o.instance = &task;
     o.delta = task.counters().delta_since(prev_bank);

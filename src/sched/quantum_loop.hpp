@@ -2,7 +2,7 @@
 // (ThreadManager) and the open-system driver (scenario::ScenarioRunner).
 //
 // Both drivers execute the same per-quantum cycle — run the chip, observe
-// every live task, let the policy re-pair, rebind — and differ only in what
+// every live task, let the policy regroup, rebind — and differ only in what
 // happens at a task's finish line (relaunch-in-place vs. retire) and in how
 // tasks enter the system (fixed slots vs. arrivals).  Keeping the mechanics
 // here guarantees the two modes measure and migrate identically.
@@ -19,19 +19,20 @@
 
 namespace synpa::sched {
 
-/// Validates `alloc` (entry c = core c; see the PairAllocation contract in
+/// Validates `alloc` (entry c = core c; see the CoreAllocation contract in
 /// policy.hpp) against the live tasks — given in stable slot order so the
 /// rebind sequence is deterministic — and applies it to the chip: unbind
-/// everything, then bind to the new placement.  The chip only charges a
-/// cache-warmup penalty where the core actually changed.  Returns the
+/// everything, then bind to the new placement.  Each group must keep its
+/// occupied slots first and fit the chip's smt_ways.  The chip only charges
+/// a cache-warmup penalty where the core actually changed.  Returns the
 /// number of migrations (core changes) this application caused.  With
-/// `require_full_pairs` any kNoTask entry is rejected (the classic closed
-/// system keeps every core at two threads).
-std::uint64_t bind_allocation(uarch::Chip& chip, const PairAllocation& alloc,
+/// `require_full_groups` every core must run exactly smt_ways threads (the
+/// classic closed system keeps the chip saturated).
+std::uint64_t bind_allocation(uarch::Chip& chip, const CoreAllocation& alloc,
                               std::span<apps::AppInstance* const> live,
-                              bool require_full_pairs);
+                              bool require_full_groups);
 
-/// Builds one task's post-quantum observation: placement, co-runner,
+/// Builds one task's post-quantum observation: placement, co-runners,
 /// counter deltas against `prev_bank`, and the three-step characterization.
 TaskObservation observe_task(const uarch::Chip& chip, apps::AppInstance& task,
                              int slot_index, const std::string& app_name,

@@ -13,7 +13,9 @@ namespace synpa::sched {
 ThreadManager::ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
                              std::span<const TaskSpec> specs, Options opts)
     : chip_(chip), policy_(policy), opts_(opts) {
-    if (specs.size() != static_cast<std::size_t>(chip_.core_count()) * 2)
+    const auto capacity = static_cast<std::size_t>(chip_.core_count()) *
+                          static_cast<std::size_t>(chip_.config().smt_ways);
+    if (specs.size() != capacity)
         throw std::invalid_argument("ThreadManager: task count must fill the chip");
     slots_.reserve(specs.size());
     for (const TaskSpec& spec : specs) {
@@ -26,13 +28,13 @@ ThreadManager::ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
     }
 }
 
-void ThreadManager::apply_allocation(const PairAllocation& alloc) {
-    // The closed system keeps every core at two threads, so partial entries
-    // are rejected (require_full_pairs).
+void ThreadManager::apply_allocation(const CoreAllocation& alloc) {
+    // The closed system keeps every core at smt_ways threads, so partial
+    // groups are rejected (require_full_groups).
     std::vector<apps::AppInstance*> live;
     live.reserve(slots_.size());
     for (Slot& s : slots_) live.push_back(s.task.get());
-    migrations_ += bind_allocation(chip_, alloc, live, /*require_full_pairs=*/true);
+    migrations_ += bind_allocation(chip_, alloc, live, /*require_full_groups=*/true);
 }
 
 RunResult ThreadManager::run() {
@@ -43,7 +45,7 @@ RunResult ThreadManager::run() {
     std::vector<int> ids;
     ids.reserve(slots_.size());
     for (const Slot& s : slots_) ids.push_back(s.task->id());
-    apply_allocation(policy_.initial_allocation(ids));
+    apply_allocation(policy_.initial_allocation(ids, chip_.config().smt_ways));
 
     const auto qcycles = static_cast<double>(chip_.config().cycles_per_quantum);
     std::uint64_t quantum = 0;
@@ -153,8 +155,12 @@ RunResult ThreadManager::run() {
                     o.task_id = self->second;
                     o.instance = slots_[static_cast<std::size_t>(o.slot_index)].task.get();
                 }
-                const auto partner = replaced.find(o.corunner_task_id);
-                if (partner != replaced.end()) o.corunner_task_id = partner->second;
+                for (int& partner_id : o.corunner_task_ids) {
+                    const auto partner = replaced.find(partner_id);
+                    if (partner != replaced.end()) partner_id = partner->second;
+                }
+                o.corunner_task_id =
+                    o.corunner_task_ids.empty() ? -1 : o.corunner_task_ids.front();
             }
         }
         apply_allocation(policy_.reallocate(obs));

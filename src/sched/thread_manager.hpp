@@ -76,7 +76,7 @@ public:
     };
 
     /// The chip must have exactly specs.size() hardware threads free
-    /// (specs.size() == 2 * chip.core_count()).
+    /// (specs.size() == smt_ways * chip.core_count()).
     ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
                   std::span<const TaskSpec> specs)
         : ThreadManager(chip, policy, specs, Options()) {}
@@ -100,7 +100,7 @@ private:
         double cycles_observed = 0.0;
     };
 
-    void apply_allocation(const PairAllocation& alloc);
+    void apply_allocation(const CoreAllocation& alloc);
 
     uarch::Chip& chip_;
     AllocationPolicy& policy_;

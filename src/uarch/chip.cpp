@@ -44,7 +44,8 @@ Chip::Chip(const SimConfig& cfg) : cfg_(cfg), memory_(cfg_) {
 }
 
 void Chip::bind(apps::AppInstance& task, CpuSlot where) {
-    if (where.core < 0 || where.core >= core_count() || where.slot < 0 || where.slot >= 2)
+    if (where.core < 0 || where.core >= core_count() || where.slot < 0 ||
+        where.slot >= cfg_.smt_ways)
         throw std::out_of_range("Chip::bind: bad slot");
     if (placement_.contains(task.id())) throw std::logic_error("Chip::bind: task already bound");
     ThreadContext& ctx = cores_[static_cast<std::size_t>(where.core)].slot(where.slot);
@@ -92,7 +93,7 @@ void Chip::refresh_rates() {
     std::vector<apps::AppInstance*> all;
     std::vector<double> llc_fp;
     for (auto& core : cores_)
-        for (int s = 0; s < 2; ++s)
+        for (int s = 0; s < core.smt_ways(); ++s)
             if (core.slot(s).bound()) {
                 all.push_back(core.slot(s).task());
                 llc_fp.push_back(core.slot(s).task()->phase().data_footprint_llc_mb);
@@ -105,29 +106,40 @@ void Chip::refresh_rates() {
     const double cap = cfg_.cache_miss_mult_cap;
 
     for (auto& core : cores_) {
-        const bool smt = core.smt_active();
-        for (int s = 0; s < 2; ++s) {
+        const int active = core.active_threads();
+        const bool smt = active >= 2;
+        for (int s = 0; s < core.smt_ways(); ++s) {
             ThreadContext& ctx = core.slot(s);
             if (!ctx.bound()) continue;
             apps::AppInstance& task = *ctx.task();
             const apps::PhaseParams& p = task.phase();
-            const apps::PhaseParams* sibling =
-                smt ? &core.slot(s ^ 1).task()->phase() : nullptr;
             const double warm = task.warmup_multiplier();
+
+            // Total core-local footprint pressure: own footprint first, then
+            // every co-runner's in slot order (L1I and L2 are shared by all
+            // the core's active threads, however many the width allows).
+            double code_fp_total = p.code_footprint_kb;
+            double l2_fp_total = p.data_footprint_l2_kb;
+            if (smt)
+                for (int o = 0; o < core.smt_ways(); ++o) {
+                    if (o == s || !core.slot(o).bound()) continue;
+                    const apps::PhaseParams& op = core.slot(o).task()->phase();
+                    code_fp_total += op.code_footprint_kb;
+                    l2_fp_total += op.data_footprint_l2_kb;
+                }
 
             EffectiveRates r;
             r.dispatch_demand = p.dispatch_demand;
 
             // Frontend: branch rate is intrinsic; ICache misses grow when the
-            // sibling's code competes for the 32 KB L1I, and when caches are
-            // cold after a migration.
+            // co-runners' code competes for the 32 KB L1I, and when caches
+            // are cold after a migration.
             const double fe_rate = p.fe_events_per_kinst / 1000.0;
             r.p_branch = fe_rate * p.fe_branch_fraction;
             double icache_mult = warm;
-            if (sibling != nullptr) {
+            if (smt) {
                 const double share = cfg_.l1i_kb * p.code_footprint_kb /
-                                     std::max(p.code_footprint_kb + sibling->code_footprint_kb,
-                                              1e-9);
+                                     std::max(code_fp_total, 1e-9);
                 icache_mult *= relative_miss_multiplier(cfg_.l1i_kb, share,
                                                         p.code_footprint_kb, e, cap);
             }
@@ -137,10 +149,9 @@ void Chip::refresh_rates() {
             // Backend: L2 is shared within the core, the LLC chip-wide.
             // Hit fractions scale with coverage ratios (saturating model).
             double l2_hit = p.l2_hit_fraction;
-            if (sibling != nullptr) {
-                const double share =
-                    cfg_.l2_kb * p.data_footprint_l2_kb /
-                    std::max(p.data_footprint_l2_kb + sibling->data_footprint_l2_kb, 1e-9);
+            if (smt) {
+                const double share = cfg_.l2_kb * p.data_footprint_l2_kb /
+                                     std::max(l2_fp_total, 1e-9);
                 l2_hit = shared_hit_fraction(p.l2_hit_fraction, cfg_.l2_kb, share,
                                              p.data_footprint_l2_kb, e);
             }
@@ -156,9 +167,10 @@ void Chip::refresh_rates() {
             r.batch = std::max(1, static_cast<int>(std::lround(p.mlp)));
             r.p_episode = p_be / static_cast<double>(r.batch);
 
-            // Latency hiding: the ROB is partitioned between active threads.
+            // Latency hiding: the ROB is partitioned among *active* threads
+            // (a core running one thread in SMT-4 mode keeps the full window).
             r.headroom_cycles = static_cast<int>(
-                static_cast<double>(cfg_.rob_share(smt)) / std::max(p.dispatch_demand, 1.0));
+                static_cast<double>(cfg_.rob_share(active)) / std::max(p.dispatch_demand, 1.0));
             r.mem_latency_eff =
                 static_cast<int>(std::lround(cfg_.mem_latency * memory_.queue_factor()));
 

@@ -1,9 +1,10 @@
-// The chip: N SMT2 cores sharing a last-level cache and the DRAM system.
+// The chip: N SMT cores (runtime width smt_ways, 1..kMaxSmtWays) sharing a
+// last-level cache and the DRAM system.
 //
 // The chip owns the quantum loop.  At each quantum boundary it derives every
 // bound thread's EffectiveRates from:
 //   * its current phase parameters (demand, event rates, footprints),
-//   * its sibling's footprints (L1I and L2 are shared within the core),
+//   * its co-runners' footprints (L1I and L2 are shared within the core),
 //   * every chip task's LLC footprint (the 28 MB LLC is chip-wide),
 //   * last quantum's DRAM utilization (bandwidth queueing), and
 //   * the task's post-migration warmup state.

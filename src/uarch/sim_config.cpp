@@ -54,6 +54,8 @@ SimConfig SimConfig::from_env() {
     using common::env_int;
     SimConfig c;
     c.cores = static_cast<int>(env_int("SYNPA_CORES", c.cores));
+    c.smt_ways = static_cast<int>(
+        std::clamp<std::int64_t>(env_int("SYNPA_SMT_WAYS", c.smt_ways), 1, kMaxSmtWays));
     c.cycles_per_quantum = static_cast<std::uint64_t>(
         env_int("SYNPA_QUANTUM_CYCLES", static_cast<std::int64_t>(c.cycles_per_quantum)));
     c.mem_latency = static_cast<int>(env_int("SYNPA_MEM_LATENCY", c.mem_latency));

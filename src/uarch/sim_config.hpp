@@ -13,9 +13,13 @@
 
 namespace synpa::uarch {
 
+/// Hard upper bound on SMT slots per core (the ThunderX2 BIOS maxes out at
+/// SMT-4); SimConfig::smt_ways picks the runtime width 1..kMaxSmtWays.
+inline constexpr int kMaxSmtWays = 4;
+
 struct SimConfig {
     // ---- Table II: core microarchitecture -------------------------------
-    int smt_ways = 2;              ///< BIOS-configured SMT2 (paper §V-A)
+    int smt_ways = 2;              ///< BIOS-configured width (1, 2 or 4 on the TX2)
     int dispatch_width = 4;        ///< instructions dispatched per cycle
     int rob_size = 128;            ///< reorder buffer entries (partitioned in SMT)
     int iq_size = 60;              ///< issue queue entries
@@ -64,9 +68,12 @@ struct SimConfig {
     // ---- time scaling -----------------------------------------------------
     std::uint64_t cycles_per_quantum = 50'000;
 
-    /// Effective ROB entries available to one thread.
-    int rob_share(bool smt_active) const noexcept {
-        return smt_active ? rob_size / smt_ways : rob_size;
+    /// Effective ROB entries available to one thread.  The ROB is
+    /// partitioned among the threads *actually running* on the core, not
+    /// the configured width: a core running a single thread in SMT-4 mode
+    /// still hands that thread the whole window.
+    int rob_share(int active_threads) const noexcept {
+        return rob_size / (active_threads > 1 ? active_threads : 1);
     }
 
     /// Loads defaults then applies SYNPA_* environment overrides

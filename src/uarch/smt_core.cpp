@@ -29,15 +29,22 @@ void SmtCore::trigger_frontend_event(ThreadContext& t) noexcept {
         task.counters().increment(Event::kBrMisPred);
         t.fetch_buffer = 0;
         t.fe_stall = cfg_->branch_redirect_penalty;
-        // Redirect refill contends for the single fetch port: if the
-        // sibling is actively fetching, the first post-redirect grants
+        // Redirect refill contends for the single fetch port: if any other
+        // thread is actively fetching, the first post-redirect grants
         // arrive a few cycles later.
-        const ThreadContext& sibling = slots_[&t == &slots_[0] ? 1 : 0];
-        if (sibling.bound() && sibling.fe_stall == 0) t.fe_stall += 4;
+        const int self = slot_index(t);
+        for (int s = 0; s < smt_ways(); ++s) {
+            if (s == self) continue;
+            const ThreadContext& other = slots_[static_cast<std::size_t>(s)];
+            if (other.bound() && other.fe_stall == 0) {
+                t.fe_stall += 4;
+                break;
+            }
+        }
     } else {
         // ICache miss: fetch blocks for the service latency; the miss port
-        // is shared with the sibling thread, so back-to-back misses from
-        // both threads serialize.
+        // is shared by every thread on the core, so back-to-back misses
+        // serialize.
         task.counters().increment(Event::kL1iCacheRefill);
         const bool l2 = task.fe_rng().uniform() < r.icache_l2_fraction;
         const int service = l2 ? cfg_->l2_latency : cfg_->llc_latency;
@@ -54,13 +61,24 @@ std::uint64_t SmtCore::trigger_backend_episode(ThreadContext& t) noexcept {
     const auto batch = static_cast<std::uint64_t>(r.batch);
     task.counters().increment(Event::kL1dCacheRefill, batch);
 
-    // Shared-window pressure: when the sibling thread is itself blocked on
-    // memory, its instructions clog the shared ROB/MSHR resources.  The
-    // effect is proportional to how often the sibling stalls — which is why
-    // a thread's backend stalls depend so strongly on the *co-runner's*
-    // memory intensity (the large gamma of the paper's backend category).
-    const ThreadContext& sibling = slots_[&t == &slots_[0] ? 1 : 0];
-    const bool sibling_blocked = sibling.bound() && sibling.be_stall > 0;
+    // Shared-window pressure: when another thread on the core is itself
+    // blocked on memory, its instructions clog the shared ROB/MSHR
+    // resources.  The effect is proportional to how often co-runners stall —
+    // which is why a thread's backend stalls depend so strongly on the
+    // *co-runners'* memory intensity (the large gamma of the paper's backend
+    // category).  Track both "anyone blocked" and the longest remaining
+    // DRAM-bound service among the blocked co-runners (the stream this
+    // episode would queue behind).
+    const int self = slot_index(t);
+    bool sibling_blocked = false;
+    int dram_queue_behind = 0;
+    for (int s = 0; s < smt_ways(); ++s) {
+        if (s == self) continue;
+        const ThreadContext& other = slots_[static_cast<std::size_t>(s)];
+        if (!other.bound() || other.be_stall <= 0) continue;
+        sibling_blocked = true;
+        if (other.dram_stall) dram_queue_behind = std::max(dram_queue_behind, other.be_stall);
+    }
 
     const double u = task.be_rng().uniform();
     int latency = 0;
@@ -80,21 +98,21 @@ std::uint64_t SmtCore::trigger_backend_episode(ThreadContext& t) noexcept {
     }
 
     // Per-core MSHR serialization — the superadditive channel.  The core has
-    // a limited pool of outstanding-miss slots; when BOTH threads are in
+    // a limited pool of outstanding-miss slots; when several threads are in
     // DRAM-bound episodes simultaneously, the later stream queues behind the
-    // remaining service time of the sibling's.  Two memory-phase threads on
-    // one core therefore hurt each other far more than the sum of their
-    // individual SMT costs, which is precisely the collision an adaptive
-    // pairing policy can dodge and a static one cannot.
-    if (dram && sibling_blocked && sibling.dram_stall)
-        latency += std::min(sibling.be_stall, cfg_->mshr_serialization_cap);
+    // remaining service time of the longest-running one.  Memory-phase
+    // threads sharing one core therefore hurt each other far more than the
+    // sum of their individual SMT costs, which is precisely the collision an
+    // adaptive grouping policy can dodge and a static one cannot.
+    if (dram && dram_queue_behind > 0)
+        latency += std::min(dram_queue_behind, cfg_->mshr_serialization_cap);
 
-    // Sibling pressure is asymmetric by episode length.  An episode that
+    // Co-runner pressure is asymmetric by episode length.  An episode that
     // stalls anyway (latency beyond the window) gains nothing new from a
-    // clogged window — its stall simply overlaps the sibling's.  But an
+    // clogged window — its stall simply overlaps the co-runner's.  But an
     // episode the window normally hides *completely* finds the shared
-    // ROB/MSHR slots occupied by the blocked sibling and turns into a real
-    // stall (service queues behind the sibling's misses, and no window is
+    // ROB/MSHR slots occupied by a blocked co-runner and turns into a real
+    // stall (service queues behind the co-runner's misses, and no window is
     // left to hide it).  This makes cache-friendly phases fragile next to
     // memory hogs while two memory hogs coexist at moderate extra cost —
     // the co-runner-dominated backend behaviour behind the paper's large
@@ -121,9 +139,10 @@ std::uint64_t SmtCore::trigger_backend_episode(ThreadContext& t) noexcept {
 void SmtCore::fetch_stage() noexcept {
     // Pick one thread for the single fetch port, round robin among those
     // that need instructions and are not frontend-stalled.
+    const int ways = smt_ways();
     int chosen = -1;
-    for (int k = 0; k < 2; ++k) {
-        const int idx = (fetch_rr_ + k) % 2;
+    for (int k = 0; k < ways; ++k) {
+        const int idx = (fetch_rr_ + k) % ways;
         ThreadContext& t = slots_[static_cast<std::size_t>(idx)];
         if (!t.bound() || t.fe_stall > 0) continue;
         if (t.fetch_buffer >= cfg_->fetch_buffer_entries) continue;
@@ -131,7 +150,7 @@ void SmtCore::fetch_stage() noexcept {
         break;
     }
     if (chosen < 0) return;
-    fetch_rr_ = (chosen + 1) % 2;
+    fetch_rr_ = (chosen + 1) % ways;
 
     ThreadContext& t = slots_[static_cast<std::size_t>(chosen)];
     apps::AppInstance& task = *t.task();
@@ -153,8 +172,9 @@ void SmtCore::fetch_stage() noexcept {
 
 std::uint64_t SmtCore::dispatch_stage() noexcept {
     // Compute per-thread demand for this cycle.
-    std::array<int, 2> want{0, 0};
-    for (int i = 0; i < 2; ++i) {
+    const int ways = smt_ways();
+    std::array<int, kMaxSmtWays> want{};
+    for (int i = 0; i < ways; ++i) {
         ThreadContext& t = slots_[static_cast<std::size_t>(i)];
         if (!t.bound() || t.be_stall > 0) continue;
         t.dispatch_credit =
@@ -165,18 +185,20 @@ std::uint64_t SmtCore::dispatch_stage() noexcept {
                       cfg_->dispatch_width});
     }
 
-    // Arbitrate the shared dispatch slots with alternating priority.
-    const int first = dispatch_pri_;
-    dispatch_pri_ ^= 1;
-    std::array<int, 2> grant{0, 0};
-    grant[static_cast<std::size_t>(first)] =
-        std::min(want[static_cast<std::size_t>(first)], cfg_->dispatch_width);
-    grant[static_cast<std::size_t>(first ^ 1)] =
-        std::min(want[static_cast<std::size_t>(first ^ 1)],
-                 cfg_->dispatch_width - grant[static_cast<std::size_t>(first)]);
+    // Arbitrate the shared dispatch slots with rotating priority: the
+    // highest-priority thread takes what it wants, later threads (in
+    // rotation order) share what remains.
+    std::array<int, kMaxSmtWays> grant{};
+    int remaining = cfg_->dispatch_width;
+    for (int k = 0; k < ways; ++k) {
+        const auto idx = static_cast<std::size_t>((dispatch_pri_ + k) % ways);
+        grant[idx] = std::min(want[idx], remaining);
+        remaining -= grant[idx];
+    }
+    dispatch_pri_ = (dispatch_pri_ + 1) % ways;
 
     std::uint64_t mem_accesses = 0;
-    for (int i = 0; i < 2; ++i) {
+    for (int i = 0; i < ways; ++i) {
         ThreadContext& t = slots_[static_cast<std::size_t>(i)];
         if (!t.bound()) continue;
         apps::AppInstance& task = *t.task();
@@ -209,7 +231,7 @@ std::uint64_t SmtCore::dispatch_stage() noexcept {
         } else if (t.fetch_buffer == 0) {
             task.counters().increment(Event::kStallFrontend);
         } else {
-            // Dispatch bandwidth taken by the sibling thread (or fractional
+            // Dispatch bandwidth taken by co-runner threads (or fractional
             // credit): a backend resource-unavailable cycle.
             task.counters().increment(Event::kStallBackend);
             task.counters().increment(Event::kStallBackendIq);
@@ -220,8 +242,11 @@ std::uint64_t SmtCore::dispatch_stage() noexcept {
 
 std::uint64_t SmtCore::tick() noexcept {
     if (icache_busy_ > 0) --icache_busy_;
-    for (ThreadContext& t : slots_)
+    const int ways = smt_ways();
+    for (int s = 0; s < ways; ++s) {
+        ThreadContext& t = slots_[static_cast<std::size_t>(s)];
         if (t.bound() && t.fe_stall > 0) --t.fe_stall;
+    }
     fetch_stage();
     return dispatch_stage();
 }

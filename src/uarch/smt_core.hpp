@@ -1,14 +1,15 @@
-// One SMT2 core: per-cycle fetch-port arbitration, dispatch-slot sharing,
-// and the stall accounting that feeds the PMU.
+// One SMT core of runtime width 1..kMaxSmtWays: per-cycle fetch-port
+// arbitration, dispatch-slot sharing, and the stall accounting that feeds
+// the PMU.
 //
 // Contention is mechanistic, never scripted:
-//  * a single ICache fetch port alternates between threads that need it, and
+//  * a single ICache fetch port rotates among threads that need it, and
 //    ICache miss service is serialized (the paper's §VI-A observation that
 //    "only a single thread can access the ICache at a given cycle");
-//  * the four dispatch slots are arbitrated with alternating priority, so
-//    two high-ILP threads each see roughly half the dispatch bandwidth;
+//  * the four dispatch slots are arbitrated with rotating priority, so N
+//    high-ILP threads each see roughly 1/N of the dispatch bandwidth;
 //  * backend stall episodes hide less latency in SMT because the ROB is
-//    partitioned between the two threads (headroom comes in via
+//    partitioned among the *active* threads (headroom comes in via
 //    EffectiveRates, computed by the chip).
 #pragma once
 
@@ -26,10 +27,19 @@ public:
 
     ThreadContext& slot(int s) { return slots_[static_cast<std::size_t>(s)]; }
     const ThreadContext& slot(int s) const { return slots_[static_cast<std::size_t>(s)]; }
-    int smt_ways() const noexcept { return 2; }
 
-    /// True when both SMT slots have a task bound.
-    bool smt_active() const noexcept { return slots_[0].bound() && slots_[1].bound(); }
+    /// The configured SMT width: slots 0..smt_ways()-1 are usable.
+    int smt_ways() const noexcept { return cfg_->smt_ways; }
+
+    /// Number of SMT slots with a task bound.
+    int active_threads() const noexcept {
+        int n = 0;
+        for (int s = 0; s < smt_ways(); ++s) n += slots_[static_cast<std::size_t>(s)].bound();
+        return n;
+    }
+
+    /// True when the core actually multiplexes threads (>= 2 bound).
+    bool smt_active() const noexcept { return active_threads() >= 2; }
 
     /// Advances the core one cycle.  Returns the number of chip-level memory
     /// accesses (LLC misses) triggered this cycle, for the bandwidth model.
@@ -41,11 +51,14 @@ private:
     void trigger_frontend_event(ThreadContext& t) noexcept;
     /// Returns the number of DRAM accesses caused by the episode (0 or batch).
     std::uint64_t trigger_backend_episode(ThreadContext& t) noexcept;
+    int slot_index(const ThreadContext& t) const noexcept {
+        return static_cast<int>(&t - slots_.data());
+    }
 
     const SimConfig* cfg_;
-    std::array<ThreadContext, 2> slots_{};
+    std::array<ThreadContext, kMaxSmtWays> slots_{};
     int fetch_rr_ = 0;      ///< fetch-port round-robin pointer
-    int dispatch_pri_ = 0;  ///< dispatch-priority alternator
+    int dispatch_pri_ = 0;  ///< dispatch-priority rotator
     int icache_busy_ = 0;   ///< cycles until the ICache miss port frees up
 };
 

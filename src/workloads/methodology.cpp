@@ -63,7 +63,8 @@ TargetProfile profile_target(const std::string& app_name, const uarch::SimConfig
 
 PreparedWorkload prepare_workload(const WorkloadSpec& spec, const uarch::SimConfig& cfg,
                                   const MethodologyOptions& opts, int rep) {
-    if (spec.app_names.size() != static_cast<std::size_t>(cfg.cores) * 2)
+    if (spec.app_names.size() !=
+        static_cast<std::size_t>(cfg.cores) * static_cast<std::size_t>(cfg.smt_ways))
         throw std::invalid_argument("prepare_workload: workload size must fill the chip");
     PreparedWorkload prepared;
     prepared.spec = spec;

@@ -29,6 +29,9 @@ sched::TaskObservation make_obs(int task, int core, int partner,
     o.task_id = task;
     o.core = core;
     o.corunner_task_id = partner;
+    if (partner >= 0) o.corunner_task_ids.push_back(partner);
+    o.smt_ways = 2;
+    o.total_cores = 2;  // the tests' observations describe a 2-core chip
     o.breakdown = breakdown_from_fractions(fractions);
     return o;
 }
@@ -151,13 +154,12 @@ TEST(SynpaPolicyTest, ReallocationIsAValidPermutation) {
     std::vector<sched::TaskObservation> obs = {
         make_obs(1, 0, 2, {0.3, 0.5, 0.2}), make_obs(2, 0, 1, {0.15, 0.05, 0.8}),
         make_obs(3, 1, 4, {0.3, 0.5, 0.2}), make_obs(4, 1, 3, {0.15, 0.05, 0.8})};
-    const sched::PairAllocation a = policy.reallocate(obs);
+    const sched::CoreAllocation a = policy.reallocate(obs);
     ASSERT_EQ(a.size(), 2u);
     std::set<int> seen;
-    for (const auto& [x, y] : a) {
-        EXPECT_NE(x, y);
-        seen.insert(x);
-        seen.insert(y);
+    for (const sched::CoreGroup& g : a) {
+        EXPECT_EQ(g.occupancy(), 2);
+        for (int id : g.members()) seen.insert(id);
     }
     EXPECT_EQ(seen, (std::set<int>{1, 2, 3, 4}));
 }

@@ -3,7 +3,12 @@
 // validates the Blossom implementation), plus hysteresis behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "matching/matching.hpp"
@@ -321,6 +326,158 @@ TEST(Stabilized, NoCurrentJustSolves) {
     const auto sel = stabilized_min_weight(w, {}, dp);
     EXPECT_FALSE(sel.kept_current);
     EXPECT_NEAR(sel.selected_weight, 3.0, 1e-9);
+}
+
+// ---------- k-way core grouping ----------
+
+/// Deterministic random cost table keyed by member bitmask, so the solver
+/// under test and the brute-force reference score groups identically.
+std::vector<double> random_cost_table(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed, 0x9c0);
+    std::vector<double> table(1u << n);
+    for (double& c : table) c = rng.uniform(0.5, 8.0);
+    return table;
+}
+
+GroupCost table_cost(const std::vector<double>& table) {
+    return [&table](std::span<const int> group) {
+        std::uint32_t mask = 0;
+        for (int v : group) mask |= 1u << v;
+        return table[mask];
+    };
+}
+
+/// Exhaustive reference: enumerate every partition of {0..n-1} into at most
+/// `cores` groups of at most `width` members (canonical: each group owns
+/// the lowest remaining index).
+double brute_force_grouping(std::uint32_t remaining, std::size_t groups_left,
+                            std::size_t width, const std::vector<double>& table) {
+    if (remaining == 0) return 0.0;
+    if (groups_left == 0) return 1e18;
+    const std::uint32_t low = remaining & (~remaining + 1u);
+    const std::uint32_t rest = remaining ^ low;
+    double best = 1e18;
+    for (std::uint32_t sub = rest;; sub = (sub - 1) & rest) {
+        const std::uint32_t group = sub | low;
+        if (static_cast<std::size_t>(std::popcount(group)) <= width) {
+            const double tail =
+                brute_force_grouping(remaining ^ group, groups_left - 1, width, table);
+            best = std::min(best, table[group] + tail);
+        }
+        if (sub == 0) break;
+    }
+    return best;
+}
+
+void expect_valid_grouping(const GroupingResult& g, std::size_t n, std::size_t cores,
+                           std::size_t width) {
+    EXPECT_LE(g.groups.size(), cores);
+    std::vector<int> seen(n, 0);
+    for (const auto& group : g.groups) {
+        ASSERT_FALSE(group.empty());
+        ASSERT_LE(group.size(), width);
+        EXPECT_TRUE(std::is_sorted(group.begin(), group.end()));
+        for (int v : group) {
+            ASSERT_GE(v, 0);
+            ASSERT_LT(static_cast<std::size_t>(v), n);
+            seen[static_cast<std::size_t>(v)] += 1;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(seen[i], 1) << "task " << i;  // exactly-once coverage
+}
+
+TEST(Grouping, MatchesBruteForceAcrossWidths) {
+    // Every width the TX2 BIOS offers, odd and even n, tight and ample core
+    // budgets (tight budgets force full groups, ample ones allow partial
+    // groups and idle cores).
+    for (const std::size_t width : {2u, 3u, 4u}) {
+        for (std::size_t n = 1; n <= 8; ++n) {
+            const std::size_t tight = (n + width - 1) / width;
+            for (const std::size_t cores : {tight, n}) {
+                const std::vector<double> table =
+                    random_cost_table(n, 100 * width + 10 * n + cores);
+                const GroupingResult got =
+                    min_weight_grouping(n, cores, width, table_cost(table));
+                expect_valid_grouping(got, n, cores, width);
+                const double want =
+                    brute_force_grouping((1u << n) - 1u, cores, width, table);
+                EXPECT_NEAR(got.total_weight, want, 1e-9)
+                    << "n=" << n << " cores=" << cores << " width=" << width;
+                EXPECT_NEAR(grouping_weight(got.groups, table_cost(table)),
+                            got.total_weight, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Grouping, Width2AgreesWithPairSolvers) {
+    // At width 2 the grouper must reproduce the classical imperfect
+    // matching: pair costs from a weight matrix, singleton costs from solo.
+    const std::size_t n = 7, cores = 4;
+    const WeightMatrix w = random_matrix(n, 0x77, 1.0, 6.0);
+    Rng rng(0x77, 0x50f1);
+    std::vector<double> solo(n);
+    for (double& s : solo) s = rng.uniform(0.8, 1.8);
+    const GroupCost cost = [&](std::span<const int> group) {
+        if (group.size() == 1) return solo[static_cast<std::size_t>(group[0])];
+        return w.get(static_cast<std::size_t>(group[0]), static_cast<std::size_t>(group[1]));
+    };
+    const GroupingResult grouped = min_weight_grouping(n, cores, 2, cost);
+    const PartialMatching matched = min_weight_partial(w, solo, cores, SubsetDpMatcher{});
+    EXPECT_NEAR(grouped.total_weight, matched.total_weight, 1e-9);
+}
+
+TEST(Grouping, DeterministicIncludingHeuristicPath) {
+    // Identical inputs must give identical groupings — on the exact path
+    // and on the large-n greedy/local-search path (no hidden randomness).
+    for (const std::size_t n : {8u, 20u}) {  // 20 > kExactGroupingLimit
+        const std::size_t cores = 6, width = 4;
+        const std::vector<double> table = random_cost_table(n, 0xbeef + n);
+        const GroupingResult a = min_weight_grouping(n, cores, width, table_cost(table));
+        const GroupingResult b = min_weight_grouping(n, cores, width, table_cost(table));
+        expect_valid_grouping(a, n, cores, width);
+        EXPECT_EQ(a.groups, b.groups);
+        EXPECT_DOUBLE_EQ(a.total_weight, b.total_weight);
+    }
+}
+
+TEST(Grouping, HeuristicIsNoWorseThanSequentialFill) {
+    // The greedy + local-search path must beat (or match) the naive
+    // consecutive-chunks grouping on a structured instance.
+    const std::size_t n = 16, cores = 4, width = 4;
+    const std::vector<double> table = random_cost_table(n, 0x5eed);
+    const GroupCost cost = table_cost(table);
+    const GroupingResult got = min_weight_grouping(n, cores, width, cost);
+    expect_valid_grouping(got, n, cores, width);
+    std::vector<std::vector<int>> naive;
+    for (std::size_t k = 0; k < n; k += width) {
+        std::vector<int> g;
+        for (std::size_t s = k; s < k + width; ++s) g.push_back(static_cast<int>(s));
+        naive.push_back(std::move(g));
+    }
+    EXPECT_LE(got.total_weight, grouping_weight(naive, cost) + 1e-9);
+}
+
+TEST(Grouping, PrefersPartialGroupsWhenSolosAreCheap) {
+    // Ample cores + expensive sharing: the optimum runs everyone alone.
+    const std::size_t n = 5;
+    const GroupCost cost = [](std::span<const int> group) {
+        return group.size() == 1 ? 1.0 : 50.0 * static_cast<double>(group.size());
+    };
+    const GroupingResult got = min_weight_grouping(n, n, 4, cost);
+    EXPECT_EQ(got.groups.size(), n);
+    EXPECT_DOUBLE_EQ(got.total_weight, 5.0);
+}
+
+TEST(Grouping, RejectsInfeasibleInstances) {
+    const GroupCost unit = [](std::span<const int>) { return 1.0; };
+    EXPECT_THROW(min_weight_grouping(9, 2, 4, unit), std::invalid_argument);
+    EXPECT_THROW(min_weight_grouping(4, 0, 4, unit), std::invalid_argument);
+    EXPECT_THROW(min_weight_grouping(4, 2, 0, unit), std::invalid_argument);
+    const GroupingResult empty = min_weight_grouping(0, 4, 2, unit);
+    EXPECT_TRUE(empty.groups.empty());
+    EXPECT_DOUBLE_EQ(empty.total_weight, 0.0);
 }
 
 }  // namespace

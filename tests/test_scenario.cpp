@@ -135,8 +135,7 @@ std::vector<sched::TaskSpec> classic_workload() {
 }
 
 template <class MakePolicy>
-void expect_closed_matches_classic(MakePolicy make_policy) {
-    const uarch::SimConfig cfg = chip4x2_config();
+void expect_closed_matches_classic(const uarch::SimConfig& cfg, MakePolicy make_policy) {
     const std::vector<sched::TaskSpec> specs = classic_workload();
 
     uarch::Chip classic_chip(cfg);
@@ -167,11 +166,31 @@ void expect_closed_matches_classic(MakePolicy make_policy) {
 }
 
 TEST(ScenarioRunner, ClosedModeMatchesThreadManagerUnderLinux) {
-    expect_closed_matches_classic([] { return std::make_unique<sched::LinuxPolicy>(); });
+    expect_closed_matches_classic(chip4x2_config(),
+                                  [] { return std::make_unique<sched::LinuxPolicy>(); });
 }
 
 TEST(ScenarioRunner, ClosedModeMatchesThreadManagerUnderSynpa) {
-    expect_closed_matches_classic([] {
+    expect_closed_matches_classic(chip4x2_config(), [] {
+        return std::make_unique<core::SynpaPolicy>(model::InterferenceModel::paper_table4());
+    });
+}
+
+uarch::SimConfig chip2x4_config() {
+    uarch::SimConfig cfg;
+    cfg.cores = 2;     // same 8 hardware threads as the paper's shape...
+    cfg.smt_ways = 4;  // ...but packed four to a core (TX2 SMT-4 BIOS mode)
+    cfg.cycles_per_quantum = 4'000;
+    return cfg;
+}
+
+TEST(ScenarioRunner, ClosedModeMatchesThreadManagerAtSmt4) {
+    // The closed-mode delegation contract holds at every width: the same
+    // 8-task workload on a 2-core SMT-4 chip reproduces a direct
+    // ThreadManager run bit-identically under both drivers.
+    expect_closed_matches_classic(chip2x4_config(),
+                                  [] { return std::make_unique<sched::LinuxPolicy>(); });
+    expect_closed_matches_classic(chip2x4_config(), [] {
         return std::make_unique<core::SynpaPolicy>(model::InterferenceModel::paper_table4());
     });
 }
@@ -271,6 +290,28 @@ TEST(ScenarioRunner, OpenSystemIsDeterministic) {
     EXPECT_EQ(a.quanta_executed, b.quanta_executed);
     for (std::size_t i = 0; i < a.tasks.size(); ++i)
         EXPECT_EQ(a.tasks[i].finish_quantum, b.tasks[i].finish_quantum);
+}
+
+TEST(ScenarioRunner, Smt4OpenSystemCompletesAndConservesTasks) {
+    // Open-system SMT-4: arrivals above the 2-core count force real 3- and
+    // 4-way groups; every planned task must finish exactly once, the live
+    // count must respect the widened capacity, and nothing may stay bound.
+    const uarch::SimConfig cfg = chip2x4_config();
+    for (const int n : {3, 6, 9, 11}) {  // partial, saturated, oversubscribed
+        uarch::Chip chip(cfg);
+        core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
+        const scenario::ScenarioTrace trace = flat_trace(n, cfg);
+        scenario::ScenarioRunner runner(chip, policy, trace);
+        const scenario::ScenarioResult result = runner.run();
+        EXPECT_TRUE(result.completed) << n << " tasks";
+        EXPECT_EQ(result.completed_tasks, static_cast<std::size_t>(n));
+        std::size_t finished = 0;
+        for (const scenario::TaskRecord& rec : result.tasks) finished += rec.completed;
+        EXPECT_EQ(finished, static_cast<std::size_t>(n));  // each exactly once
+        for (const scenario::QuantumSample& s : result.timeline)
+            EXPECT_LE(s.live, 8);  // 2 cores x 4 ways
+        EXPECT_EQ(chip.bound_tasks().size(), 0u);
+    }
 }
 
 // ---------- the acceptance load sweep ----------

@@ -104,10 +104,17 @@ TEST(Config, TableTwoDefaults) {
     EXPECT_EQ(cfg.smt_ways, 2);
 }
 
-TEST(Config, RobShareHalvesUnderSmt) {
-    const SimConfig cfg;
-    EXPECT_EQ(cfg.rob_share(false), 128);
-    EXPECT_EQ(cfg.rob_share(true), 64);
+TEST(Config, RobSharePartitionsByActiveThreads) {
+    // The window partitions by *running* threads, not the configured width:
+    // a lone thread always gets the full ROB, even in SMT-4 BIOS mode.
+    SimConfig cfg;
+    EXPECT_EQ(cfg.rob_share(1), 128);
+    EXPECT_EQ(cfg.rob_share(2), 64);
+    cfg.smt_ways = 4;
+    EXPECT_EQ(cfg.rob_share(1), 128);
+    EXPECT_EQ(cfg.rob_share(2), 64);
+    EXPECT_EQ(cfg.rob_share(3), 42);
+    EXPECT_EQ(cfg.rob_share(4), 32);
 }
 
 TEST(Config, EnvOverride) {
@@ -115,6 +122,16 @@ TEST(Config, EnvOverride) {
     const SimConfig cfg = SimConfig::from_env();
     EXPECT_EQ(cfg.cycles_per_quantum, 12345u);
     ::unsetenv("SYNPA_QUANTUM_CYCLES");
+}
+
+TEST(Config, SmtWaysEnvOverrideIsClamped) {
+    ::setenv("SYNPA_SMT_WAYS", "4", 1);
+    EXPECT_EQ(SimConfig::from_env().smt_ways, 4);
+    ::setenv("SYNPA_SMT_WAYS", "9", 1);  // beyond kMaxSmtWays
+    EXPECT_EQ(SimConfig::from_env().smt_ways, kMaxSmtWays);
+    ::setenv("SYNPA_SMT_WAYS", "0", 1);
+    EXPECT_EQ(SimConfig::from_env().smt_ways, 1);
+    ::unsetenv("SYNPA_SMT_WAYS");
 }
 
 TEST(Config, FingerprintSensitivity) {
@@ -146,6 +163,30 @@ TEST(Chip, BindUnbindLifecycle) {
     chip.unbind(1);
     EXPECT_FALSE(chip.is_bound(1));
     EXPECT_THROW(chip.placement(1), std::logic_error);
+}
+
+TEST(Chip, SmtWidthBoundsSlots) {
+    // SMT-2 chips reject slot 2; SMT-4 chips accept four threads per core
+    // and report them all as co-runners of each other.
+    Chip narrow(small_config());
+    apps::AppInstance n1(1, apps::find_app("mcf"), 1);
+    EXPECT_THROW(narrow.bind(n1, {.core = 0, .slot = 2}), std::out_of_range);
+
+    SimConfig cfg = small_config();
+    cfg.smt_ways = 4;
+    Chip wide(cfg);
+    std::vector<std::unique_ptr<apps::AppInstance>> tasks;
+    const std::vector<std::string> names = {"mcf", "lbm_r", "leela_r", "nab_r"};
+    for (int s = 0; s < 4; ++s) {
+        tasks.push_back(
+            std::make_unique<apps::AppInstance>(s + 1, apps::find_app(names[(std::size_t)s]),
+                                                static_cast<std::uint64_t>(s + 1)));
+        wide.bind(*tasks.back(), {.core = 0, .slot = s});
+    }
+    EXPECT_EQ(wide.core(0).active_threads(), 4);
+    EXPECT_TRUE(wide.core(0).smt_active());
+    wide.run_quantum();  // all four threads must make progress
+    for (const auto& t : tasks) EXPECT_GT(t->insts_retired(), 0u);
 }
 
 TEST(Chip, BindErrors) {
