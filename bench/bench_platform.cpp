@@ -12,6 +12,8 @@ int main() {
     const uarch::SimConfig cfg = uarch::SimConfig::from_env();
 
     common::Table table({"parameter", "value", "paper (ThunderX2 CN9975)"});
+    table.row().add("chips").add(static_cast<long long>(cfg.num_chips)).add(
+        "dual-socket target boxes (SYNPA_NUM_CHIPS)");
     table.row().add("SMT ways").add(static_cast<long long>(cfg.smt_ways)).add(
         "BIOS-configurable 1/2/4 (SYNPA_SMT_WAYS)");
     table.row().add("dispatch width").add(static_cast<long long>(cfg.dispatch_width)).add("4");

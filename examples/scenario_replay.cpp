@@ -15,7 +15,7 @@
 #include "core/synpa_policy.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
-#include "uarch/chip.hpp"
+#include "uarch/platform.hpp"
 
 int main() {
     using namespace synpa;
@@ -44,9 +44,9 @@ int main() {
 
     // 2. Run it under SYNPA.  The partial-allocation path kicks in whenever
     //    the live set is not exactly 2 x cores.
-    uarch::Chip chip(cfg);
+    uarch::Platform platform(cfg);
     core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
-    scenario::ScenarioRunner runner(chip, policy, trace);
+    scenario::ScenarioRunner runner(platform, policy, trace);
     const scenario::ScenarioResult result = runner.run();
 
     // 3. Replay: one line every few quanta.
@@ -55,7 +55,7 @@ int main() {
     std::uint64_t last_migrations = 0;
     for (const scenario::QuantumSample& s : result.timeline) {
         if (s.quantum % stride != 0) continue;
-        const int threads = chip.core_count() * 2;
+        const int threads = platform.hw_contexts();
         const int busy = s.live;
         std::string bar(static_cast<std::size_t>(busy), '#');
         bar.resize(static_cast<std::size_t>(threads), '.');
@@ -67,12 +67,14 @@ int main() {
         std::cout << "\n";
     }
 
-    common::Table table({"task", "app", "arrive", "admit", "finish", "TT", "slowdown"});
+    common::Table table(
+        {"task", "app", "chip", "arrive", "admit", "finish", "TT", "slowdown"});
     for (const scenario::TaskRecord& rec : result.tasks) {
         if (!rec.completed) continue;
         table.row()
             .add(static_cast<double>(rec.plan_index), 0)
             .add(rec.app_name)
+            .add(static_cast<double>(rec.chip_id), 0)
             .add(static_cast<double>(rec.arrival_quantum), 0)
             .add(static_cast<double>(rec.admit_quantum), 0)
             .add(rec.finish_quantum, 1)

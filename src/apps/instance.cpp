@@ -32,9 +32,22 @@ void AppInstance::retire(std::uint64_t n) noexcept {
 }
 
 void AppInstance::start_warmup(std::uint64_t insts, double multiplier) noexcept {
+    // A weaker window never truncates a stronger one still in effect: a
+    // same-chip core move after a cross-chip migration must not erase the
+    // remaining cross-chip penalty (caches are no warmer for having moved
+    // again).  "Stronger" is the remaining penalized area — the integral
+    // of (multiplier - 1) over the linear decay — so the comparison stays
+    // correct even late in a long window, when its decayed multiplier has
+    // dropped below a short window's peak.  Same-shape restarts (the
+    // common re-migration case) always adopt the fresh window, as before.
+    const double peak = multiplier < 1.0 ? 1.0 : multiplier;
+    const double remaining =
+        (warmup_multiplier() - 1.0) * static_cast<double>(warmup_left_) / 2.0;
+    const double proposed = (peak - 1.0) * static_cast<double>(insts) / 2.0;
+    if (proposed < remaining) return;
     warmup_total_ = insts;
     warmup_left_ = insts;
-    warmup_peak_ = multiplier < 1.0 ? 1.0 : multiplier;
+    warmup_peak_ = peak;
 }
 
 double AppInstance::warmup_multiplier() const noexcept {

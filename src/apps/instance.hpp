@@ -50,6 +50,9 @@ public:
 
     /// Begins a cold-cache window after a migration: miss rates are
     /// multiplied by up to `multiplier`, decaying linearly over `insts`.
+    /// Ignored while a stronger window — larger remaining penalized area —
+    /// is still in effect (a cheap local move must not truncate a live
+    /// cross-chip penalty, however far that window has decayed).
     void start_warmup(std::uint64_t insts, double multiplier) noexcept;
 
     /// Current cold-cache miss multiplier (1.0 once warm).

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "sched/baselines.hpp"
+#include "sched/topology.hpp"
 
 namespace synpa::core {
 namespace {
@@ -111,6 +112,29 @@ sched::CoreAllocation SynpaPolicy::reallocate(
     // Step 1: refresh isolated-behaviour estimates from this quantum.
     estimator_.observe(observations);
 
+    const sched::TopologyView topo = sched::observed_topology(observations);
+    if (topo.chips <= 1) return allocate_chip(observations);
+
+    // Multi-chip Step 3 decomposes: pick each task's chip first — migrating
+    // across chips only when the estimator's predicted benefit beats the
+    // configured cross-chip cost — then run the single-chip selection per
+    // chip (interference never crosses a chip boundary; each chip has its
+    // own LLC and DRAM channel).
+    const sched::SoloCost solo = [&](std::size_t i) {
+        return estimator_.solo_weight(observations[i].task_id);
+    };
+    const sched::PairCost pair = [&](std::size_t u, std::size_t v) {
+        return estimator_.pair_weight(observations[u].task_id, observations[v].task_id);
+    };
+    return sched::allocate_across_chips(
+        observations, topo, solo, pair, opts_.cross_chip_penalty,
+        [this](std::span<const sched::TaskObservation> local,
+               std::span<const std::size_t>) { return allocate_chip(local); });
+}
+
+sched::CoreAllocation SynpaPolicy::allocate_chip(
+    std::span<const sched::TaskObservation> observations) {
+    if (observations.empty()) return {};
     const std::size_t n = observations.size();
     const std::size_t total_cores = sched::observed_total_cores(observations);
     const int width = sched::observed_smt_ways(observations);
@@ -158,7 +182,7 @@ sched::CoreAllocation SynpaPolicy::reallocate(
     // combined slowdown against the two members' "runs alone" terms, so it
     // decides *which* threads deserve a core of their own.  No hysteresis
     // here: arrivals and departures churn the index space every few quanta
-    // anyway, and place_on_cores still pins survivors to incumbent cores.
+    // anyway, and place_groups still pins survivors to incumbent cores.
     if (n != 2 * total_cores) {
         std::vector<double> solo(n);
         for (std::size_t i = 0; i < n; ++i)
@@ -178,7 +202,8 @@ sched::CoreAllocation SynpaPolicy::reallocate(
         for (int u : sel.singles)
             entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id,
                                  sched::kNoTask);
-        return sched::place_on_cores(entries, observations, total_cores);
+        return sched::place_groups(sched::groups_from_pairs(entries), observations,
+                                   total_cores);
     }
 
     // Current pairing in index space, for hysteresis.

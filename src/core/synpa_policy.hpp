@@ -22,6 +22,7 @@
 #include "matching/matching.hpp"
 #include "model/interference_model.hpp"
 #include "sched/policy.hpp"
+#include "sched/topology.hpp"
 
 namespace synpa::core {
 
@@ -43,6 +44,11 @@ public:
         /// re-solve-every-quantum behaviour (bench_ablation_policy).
         double stability_bias = 0.002;
         double keep_threshold = 0.001;
+        /// Multi-chip platforms only: the predicted-slowdown benefit a
+        /// cross-chip move must exceed before the balancing pass migrates a
+        /// task (sched/topology.hpp) — the policy-side counterpart of the
+        /// platform's cross-chip warmup window.
+        double cross_chip_penalty = sched::kDefaultCrossChipPenalty;
     };
 
     explicit SynpaPolicy(model::InterferenceModel model)
@@ -70,6 +76,12 @@ public:
     const matching::Matcher& matcher() const;
 
 private:
+    /// Steps 2+3 on one chip's (possibly chip-localized) observations; the
+    /// estimator was already refreshed for the quantum.
+    sched::CoreAllocation allocate_chip(
+        std::span<const sched::TaskObservation> observations);
+
+
     model::InterferenceModel model_;
     Options opts_;
     SynpaEstimator estimator_;

@@ -76,13 +76,14 @@ CsvAggregator::CsvAggregator(std::ostream& os) : os_(os) {}
 
 void CsvAggregator::on_cell(const CellResult& cell) {
     if (!header_written_) {
-        os_ << "config,cores,smt_ways,workload,policy,turnaround_quanta,fairness,"
+        os_ << "config,chips,cores,smt_ways,workload,policy,turnaround_quanta,fairness,"
                "ipc_geomean,antt,reps_kept,turnaround_samples\n";
         header_written_ = true;
     }
     const auto& m = cell.result.mean_metrics;
-    os_ << cell.config_index << ',' << cell.cores << ',' << cell.smt_ways << ','
-        << cell.workload << ',' << cell.policy << ',' << m.turnaround_quanta << ','
+    os_ << cell.config_index << ',' << cell.chips << ',' << cell.cores << ','
+        << cell.smt_ways << ',' << cell.workload << ',' << cell.policy << ','
+        << m.turnaround_quanta << ','
         << m.fairness << ',' << m.ipc_geomean << ',' << m.antt << ','
         << cell.result.turnaround_samples.size() << ','
         << joined_samples(cell.result.turnaround_samples, ';') << '\n';
@@ -96,7 +97,8 @@ void JsonAggregator::on_cell(const CellResult& cell) {
     os_ << (first_ ? "[\n" : ",\n");
     first_ = false;
     const auto& m = cell.result.mean_metrics;
-    os_ << "  {\"config\": " << cell.config_index << ", \"cores\": " << cell.cores
+    os_ << "  {\"config\": " << cell.config_index << ", \"chips\": " << cell.chips
+        << ", \"cores\": " << cell.cores
         << ", \"smt_ways\": " << cell.smt_ways << ", \"workload\": \""
         << json_escape(cell.workload) << "\", \"policy\": \"" << json_escape(cell.policy)
         << "\", \"turnaround_quanta\": " << m.turnaround_quanta

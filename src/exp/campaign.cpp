@@ -192,6 +192,7 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                 done->config_index = cell->config_index;
                 done->workload_index = cell->workload_index;
                 done->policy_index = cell->policy_index;
+                done->chips = campaign.configs[cell->config_index].num_chips;
                 done->cores = campaign.configs[cell->config_index].cores;
                 done->smt_ways = campaign.configs[cell->config_index].smt_ways;
                 done->workload = cell->spec->name;

@@ -82,7 +82,8 @@ struct CellResult {
     std::size_t config_index = 0;
     std::size_t workload_index = 0;
     std::size_t policy_index = 0;
-    int cores = 0;     ///< chip shape of the cell's config
+    int chips = 0;     ///< platform shape of the cell's config
+    int cores = 0;     ///< cores per chip
     int smt_ways = 0;  ///< SMT width of the cell's config
     std::string workload;
     std::string policy;  ///< PolicySpec label

@@ -17,7 +17,7 @@ ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs) {
     ScenarioSummary s;
     std::vector<double> turnarounds;
     double queue_sum = 0.0, slowdown_sum = 0.0, util_sum = 0.0;
-    double quanta_total = 0.0, migrations_total = 0.0;
+    double quanta_total = 0.0, migrations_total = 0.0, cross_chip_total = 0.0;
     std::size_t util_runs = 0;
     for (const scenario::ScenarioResult& run : runs) {
         s.planned_tasks += run.tasks.size();
@@ -35,6 +35,7 @@ ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs) {
         }
         quanta_total += static_cast<double>(run.quanta_executed);
         migrations_total += static_cast<double>(run.migrations);
+        cross_chip_total += static_cast<double>(run.cross_chip_migrations);
     }
     if (!turnarounds.empty()) {
         double sum = 0.0;
@@ -52,6 +53,7 @@ ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs) {
     if (quanta_total > 0.0) {
         s.throughput = static_cast<double>(s.completed_tasks) / quanta_total;
         s.migrations_per_quantum = migrations_total / quanta_total;
+        s.cross_chip_per_quantum = cross_chip_total / quanta_total;
     }
     return s;
 }
@@ -153,9 +155,9 @@ ScenarioGridResult ScenarioGridRunner::run(
                     common::derive_key(spec.seed, 0x9001, static_cast<std::uint64_t>(rep));
                 const auto policy = campaign.policies[cell->policy_index].make(
                     artifacts[cell->config_index], rep_seed);
-                uarch::Chip chip(cfg);
+                uarch::Platform platform(cfg);
                 scenario::ScenarioRunner runner(
-                    chip, *policy, *trace,
+                    platform, *policy, *trace,
                     {.max_quanta = campaign.max_quanta,
                      .record_timeline = campaign.record_timelines});
                 cell->runs[static_cast<std::size_t>(rep)] = runner.run();
@@ -165,6 +167,7 @@ ScenarioGridResult ScenarioGridRunner::run(
                 done->config_index = cell->config_index;
                 done->scenario_index = cell->scenario_index;
                 done->policy_index = cell->policy_index;
+                done->chips = cfg.num_chips;
                 done->cores = cfg.cores;
                 done->smt_ways = cfg.smt_ways;
                 done->scenario = campaign.scenarios[cell->scenario_index].name;
@@ -194,19 +197,21 @@ ScenarioCsvAggregator::ScenarioCsvAggregator(std::ostream& os) : os_(os) {}
 
 void ScenarioCsvAggregator::on_cell(const ScenarioCellResult& cell) {
     if (!header_written_) {
-        os_ << "config,cores,smt_ways,scenario_index,policy_index,scenario,policy,"
+        os_ << "config,chips,cores,smt_ways,scenario_index,policy_index,scenario,policy,"
                "planned,completed,all_completed,mean_tt,p50_tt,p95_tt,p99_tt,mean_queue,"
-               "mean_slowdown,mean_utilization,throughput,migrations_per_quantum\n";
+               "mean_slowdown,mean_utilization,throughput,migrations_per_quantum,"
+               "cross_chip_per_quantum\n";
         header_written_ = true;
     }
     const ScenarioSummary& s = cell.summary;
-    os_ << cell.config_index << ',' << cell.cores << ',' << cell.smt_ways << ','
-        << cell.scenario_index << ',' << cell.policy_index
+    os_ << cell.config_index << ',' << cell.chips << ',' << cell.cores << ','
+        << cell.smt_ways << ',' << cell.scenario_index << ',' << cell.policy_index
         << ',' << cell.scenario << ',' << cell.policy << ',' << s.planned_tasks << ','
         << s.completed_tasks << ',' << (s.all_completed ? 1 : 0) << ',' << s.mean_turnaround
         << ',' << s.p50_turnaround << ',' << s.p95_turnaround << ',' << s.p99_turnaround
         << ',' << s.mean_queue << ',' << s.mean_slowdown << ',' << s.mean_utilization << ','
-        << s.throughput << ',' << s.migrations_per_quantum << '\n';
+        << s.throughput << ',' << s.migrations_per_quantum << ','
+        << s.cross_chip_per_quantum << '\n';
 }
 
 void ScenarioCsvAggregator::finish() { os_.flush(); }

@@ -58,6 +58,7 @@ struct ScenarioSummary {
     double mean_utilization = 0.0; ///< bound hardware threads / capacity
     double throughput = 0.0;       ///< completed tasks per executed quantum
     double migrations_per_quantum = 0.0;
+    double cross_chip_per_quantum = 0.0;  ///< cross-chip subset of migrations
 };
 
 ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs);
@@ -67,7 +68,8 @@ struct ScenarioCellResult {
     std::size_t config_index = 0;
     std::size_t scenario_index = 0;
     std::size_t policy_index = 0;
-    int cores = 0;     ///< chip shape of the cell's config
+    int chips = 0;     ///< platform shape of the cell's config
+    int cores = 0;     ///< cores per chip
     int smt_ways = 0;  ///< SMT width of the cell's config
     std::string scenario;
     std::string policy;  ///< PolicySpec label

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "matching/matching.hpp"
 
@@ -240,14 +241,32 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
 
 }  // namespace
 
+namespace {
+
+/// Shared argument guard; `who` names the public entry point so the
+/// diagnostic blames the function the caller actually invoked.
+void check_grouping_args(std::size_t n, std::size_t cores, std::size_t width,
+                         const char* who) {
+    if (width == 0) throw std::invalid_argument(std::string(who) + ": zero width");
+    if (cores == 0) throw std::invalid_argument(std::string(who) + ": no cores");
+    if (n > cores * width)
+        throw std::invalid_argument(std::string(who) + ": more tasks than SMT contexts");
+}
+
+}  // namespace
+
 GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t width,
                                    const GroupCost& cost) {
-    if (width == 0) throw std::invalid_argument("min_weight_grouping: zero width");
-    if (cores == 0) throw std::invalid_argument("min_weight_grouping: no cores");
-    if (n > cores * width)
-        throw std::invalid_argument("min_weight_grouping: more tasks than SMT contexts");
+    check_grouping_args(n, cores, width, "min_weight_grouping");
     if (n == 0) return {};
     if (n <= kExactGroupingLimit) return exact_grouping(n, cores, width, cost);
+    return heuristic_grouping(n, cores, width, cost);
+}
+
+GroupingResult min_weight_grouping_heuristic(std::size_t n, std::size_t cores,
+                                             std::size_t width, const GroupCost& cost) {
+    check_grouping_args(n, cores, width, "min_weight_grouping_heuristic");
+    if (n == 0) return {};
     return heuristic_grouping(n, cores, width, cost);
 }
 

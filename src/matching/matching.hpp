@@ -189,6 +189,14 @@ GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t
 /// Largest n solved exactly by min_weight_grouping's subset DP.
 inline constexpr std::size_t kExactGroupingLimit = 12;
 
+/// The greedy-seed + local-search heuristic min_weight_grouping switches to
+/// beyond kExactGroupingLimit, callable at any n.  Exposed so tests can
+/// measure the heuristic's quality against the exact DP right at the
+/// switchover boundary (the regime a scheduler actually crosses when the
+/// live set grows from 12 to 13 tasks).
+GroupingResult min_weight_grouping_heuristic(std::size_t n, std::size_t cores,
+                                             std::size_t width, const GroupCost& cost);
+
 /// Recomputes the total weight of `groups` under `cost` (test/report helper).
 double grouping_weight(const std::vector<std::vector<int>>& groups, const GroupCost& cost);
 

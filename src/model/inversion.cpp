@@ -72,7 +72,7 @@ InversionResult ModelInverter::invert(const CategoryVector& smt_i,
     InversionResult r;
     bool solved = false;
     for (int it = 0; it < opts_.max_iterations; ++it) {
-        const std::array<double, 6> f = residual(*model_, x, fi, fj);
+        const std::array<double, 6> f = residual(model_, x, fi, fj);
         r.iterations = it;
         if (max_abs(f) < opts_.tolerance) {
             solved = true;
@@ -84,7 +84,7 @@ InversionResult ModelInverter::invert(const CategoryVector& smt_i,
         for (std::size_t col = 0; col < 6; ++col) {
             std::array<double, 6> xh = x;
             xh[col] += h;
-            const std::array<double, 6> fh = residual(*model_, xh, fi, fj);
+            const std::array<double, 6> fh = residual(model_, xh, fi, fj);
             for (std::size_t row = 0; row < 6; ++row)
                 jac(row, col) = (fh[row] - f[row]) / h;
         }
@@ -119,8 +119,8 @@ InversionResult ModelInverter::invert(const CategoryVector& smt_i,
         r.st_j = fj;
         r.converged = false;
     }
-    r.slowdown_i = implied_slowdown(*model_, r.st_i, r.st_j);
-    r.slowdown_j = implied_slowdown(*model_, r.st_j, r.st_i);
+    r.slowdown_i = implied_slowdown(model_, r.st_i, r.st_j);
+    r.slowdown_j = implied_slowdown(model_, r.st_j, r.st_i);
     return r;
 }
 

@@ -38,10 +38,13 @@ public:
         double damping = 0.7;  ///< new = damping*solved + (1-damping)*old
     };
 
+    /// The model is copied (it is a dozen doubles): an inverter constructed
+    /// from a temporary stays valid, which ASan caught the pointer-keeping
+    /// original getting wrong.
     explicit ModelInverter(const InterferenceModel& model)
         : ModelInverter(model, Options()) {}
     ModelInverter(const InterferenceModel& model, Options opts)
-        : model_(&model), opts_(opts) {}
+        : model_(model), opts_(opts) {}
 
     /// Inverts the model for one co-running pair.  `smt_i` / `smt_j` are the
     /// observed per-cycle SMT fractions (each summing to ~1).  On
@@ -50,7 +53,7 @@ public:
     InversionResult invert(const CategoryVector& smt_i, const CategoryVector& smt_j) const;
 
 private:
-    const InterferenceModel* model_;
+    InterferenceModel model_;
     Options opts_;
 };
 

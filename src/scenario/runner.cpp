@@ -16,13 +16,13 @@ double ScenarioResult::mean_utilization() const noexcept {
     return sum / static_cast<double>(timeline.size());
 }
 
-ScenarioRunner::ScenarioRunner(uarch::Chip& chip, sched::AllocationPolicy& policy,
+ScenarioRunner::ScenarioRunner(uarch::Platform& platform, sched::AllocationPolicy& policy,
                                const ScenarioTrace& trace, Options opts)
-    : chip_(chip), policy_(policy), trace_(trace), opts_(opts) {
+    : platform_(platform), policy_(policy), trace_(trace), opts_(opts) {
     if (trace_.spec.process == ArrivalProcess::kClosed &&
-        trace_.tasks.size() != static_cast<std::size_t>(chip_.core_count()) *
-                                   static_cast<std::size_t>(chip_.config().smt_ways))
-        throw std::invalid_argument("ScenarioRunner: closed scenarios must fill the chip");
+        trace_.tasks.size() != static_cast<std::size_t>(platform_.hw_contexts()))
+        throw std::invalid_argument(
+            "ScenarioRunner: closed scenarios must fill the platform");
     for (std::size_t i = 1; i < trace_.tasks.size(); ++i)
         if (trace_.tasks[i - 1].arrival_quantum > trace_.tasks[i].arrival_quantum)
             throw std::invalid_argument("ScenarioRunner: trace tasks must be arrival-sorted");
@@ -46,8 +46,10 @@ ScenarioResult ScenarioRunner::run_closed() {
                          .target_insts = t.service_insts,
                          .isolated_ipc = t.isolated_ipc});
     sched::ThreadManager manager(
-        chip_, policy_, specs,
-        {.max_quanta = opts_.max_quanta, .record_traces = opts_.record_timeline});
+        platform_, policy_, specs,
+        {.max_quanta = opts_.max_quanta,
+         .record_traces = opts_.record_timeline,
+         .on_quantum = opts_.on_quantum});
     const sched::RunResult run = manager.run();
 
     ScenarioResult result;
@@ -55,10 +57,11 @@ ScenarioResult ScenarioRunner::run_closed() {
     result.policy_name = run.policy_name;
     result.quanta_executed = run.quanta_executed;
     result.migrations = run.migrations;
+    result.cross_chip_migrations = run.cross_chip_migrations;
     result.completed = run.completed;
     result.turnaround_quanta = run.turnaround_quanta;
 
-    const double qcycles = static_cast<double>(chip_.config().cycles_per_quantum);
+    const double qcycles = static_cast<double>(platform_.config().cycles_per_quantum);
     result.tasks.resize(trace_.tasks.size());
     for (std::size_t s = 0; s < trace_.tasks.size(); ++s) {
         TaskRecord& rec = result.tasks[s];
@@ -70,6 +73,7 @@ ScenarioResult ScenarioRunner::run_closed() {
     for (const sched::TaskOutcome& out : run.outcomes) {
         TaskRecord& rec = result.tasks[static_cast<std::size_t>(out.slot_index)];
         rec.task_id = out.slot_index + 1;  // ThreadManager ids originals 1..N
+        rec.chip_id = out.final_core >= 0 ? platform_.chip_of_core(out.final_core) : -1;
         rec.finish_quantum = out.finish_quantum;
         rec.turnaround_quanta = out.finish_quantum;
         const double isolated_quanta =
@@ -109,8 +113,7 @@ int ScenarioRunner::queued_at(std::uint64_t quantum) const {
 }
 
 void ScenarioRunner::admit(std::uint64_t quantum) {
-    const std::size_t capacity = static_cast<std::size_t>(chip_.core_count()) *
-                                 static_cast<std::size_t>(chip_.config().smt_ways);
+    const auto capacity = static_cast<std::size_t>(platform_.hw_contexts());
     while (next_plan_ < trace_.tasks.size() &&
            trace_.tasks[next_plan_].arrival_quantum <= quantum &&
            live_.size() < capacity) {
@@ -122,20 +125,21 @@ void ScenarioRunner::admit(std::uint64_t quantum) {
             next_task_id_++, apps::find_app(plan.app_name), plan.seed);
 
         // Spread before doubling up (the CFS behaviour the paper observes):
-        // an arrival takes the least-loaded core (ties to the lowest index)
-        // in its lowest free SMT slot.  The policy regroups it from the next
+        // an arrival takes the least-loaded core platform-wide (ties to the
+        // lowest global index, so chip 0 fills first at equal load) in its
+        // lowest free SMT slot.  The policy regroups it from the next
         // boundary.
         uarch::CpuSlot where{-1, -1};
-        int best_load = chip_.config().smt_ways;
-        for (int c = 0; c < chip_.core_count(); ++c) {
-            const int load = chip_.core(c).active_threads();
+        int best_load = platform_.config().smt_ways;
+        for (int c = 0; c < platform_.core_count(); ++c) {
+            const int load = platform_.core(c).active_threads();
             if (load >= best_load) continue;
             best_load = load;
             int slot = 0;
-            while (chip_.core(c).slot(slot).bound()) ++slot;
+            while (platform_.core(c).slot(slot).bound()) ++slot;
             where = {c, slot};
         }
-        chip_.bind(*lv.task, where);
+        platform_.bind(*lv.task, where);
         live_.push_back(std::move(lv));
         ++next_plan_;
     }
@@ -155,8 +159,8 @@ ScenarioResult ScenarioRunner::run_open() {
         rec.isolated_ipc = trace_.tasks[i].isolated_ipc;
     }
 
-    const double qcycles = static_cast<double>(chip_.config().cycles_per_quantum);
-    const int capacity = chip_.core_count() * chip_.config().smt_ways;
+    const double qcycles = static_cast<double>(platform_.config().cycles_per_quantum);
+    const int capacity = platform_.hw_contexts();
     std::uint64_t quantum = 0;
 
     while (quantum < opts_.max_quanta) {
@@ -164,7 +168,7 @@ ScenarioResult ScenarioRunner::run_open() {
         if (live_.empty() && next_plan_ >= trace_.tasks.size()) break;  // drained
 
         const int queued = queued_at(quantum);
-        chip_.run_quantum();
+        platform_.run_quantum();
         ++quantum;
 
         if (live_.empty()) {
@@ -182,7 +186,7 @@ ScenarioResult ScenarioRunner::run_open() {
         obs.reserve(live_.size());
         double aggregate_ipc = 0.0;
         for (Live& lv : live_) {
-            obs.push_back(sched::observe_task(chip_, *lv.task,
+            obs.push_back(sched::observe_task(platform_, *lv.task,
                                               static_cast<int>(lv.plan_index),
                                               trace_.tasks[lv.plan_index].app_name,
                                               lv.prev_bank));
@@ -228,7 +232,9 @@ ScenarioResult ScenarioRunner::run_open() {
                     std::max(result.turnaround_quanta, rec.finish_quantum);
 
                 const int id = lv.task->id();
-                chip_.unbind(id);
+                rec.chip_id = platform_.chip_of_core(platform_.placement(id).core);
+                platform_.unbind(id);
+                platform_.forget_task(id);  // retired for good; ids never reused
                 policy_.on_task_finished(id);
                 live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
                 obs.erase(obs.begin() + static_cast<std::ptrdiff_t>(i));
@@ -243,15 +249,19 @@ ScenarioResult ScenarioRunner::run_open() {
         // a short answer means trailing cores idle).
         if (!live_.empty()) {
             sched::CoreAllocation alloc = policy_.reallocate(obs);
-            if (alloc.size() > static_cast<std::size_t>(chip_.core_count()))
+            if (alloc.size() > static_cast<std::size_t>(platform_.core_count()))
                 throw std::runtime_error("ScenarioRunner: allocation exceeds core count");
-            alloc.resize(static_cast<std::size_t>(chip_.core_count()));
+            alloc.resize(static_cast<std::size_t>(platform_.core_count()));
             std::vector<apps::AppInstance*> tasks;
             tasks.reserve(live_.size());
             for (Live& lv : live_) tasks.push_back(lv.task.get());
-            result.migrations +=
-                sched::bind_allocation(chip_, alloc, tasks, /*require_full_groups=*/false);
+            const sched::BindStats stats =
+                sched::bind_allocation(platform_, alloc, tasks,
+                                       /*require_full_groups=*/false);
+            result.migrations += stats.migrations;
+            result.cross_chip_migrations += stats.cross_chip;
         }
+        if (opts_.on_quantum) opts_.on_quantum(platform_);
     }
 
     // Unfinished work (safety cap or never admitted) marks the run
@@ -261,7 +271,9 @@ ScenarioResult ScenarioRunner::run_open() {
         TaskRecord& rec = result.tasks[lv.plan_index];
         rec.task_id = lv.task->id();
         rec.admit_quantum = lv.admit_quantum;
-        chip_.unbind(lv.task->id());
+        rec.chip_id = platform_.chip_of_core(platform_.placement(lv.task->id()).core);
+        platform_.unbind(lv.task->id());
+        platform_.forget_task(lv.task->id());
     }
     result.completed = result.completed_tasks == trace_.tasks.size();
     // Match the classic manager's convention for incomplete runs: report

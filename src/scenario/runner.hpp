@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,7 +20,7 @@
 #include "pmu/counters.hpp"
 #include "scenario/scenario.hpp"
 #include "sched/policy.hpp"
-#include "uarch/chip.hpp"
+#include "uarch/platform.hpp"
 
 namespace synpa::scenario {
 
@@ -30,6 +31,7 @@ struct TaskRecord {
     std::string app_name;
     std::uint64_t arrival_quantum = 0;
     std::uint64_t admit_quantum = 0;   ///< when it got a hardware thread
+    int chip_id = -1;                  ///< chip it last ran on (-1: never admitted)
     double finish_quantum = -1.0;      ///< fractional; -1 when unfinished
     std::uint64_t service_insts = 0;
     double isolated_ipc = 0.0;
@@ -58,6 +60,7 @@ struct ScenarioResult {
     std::vector<QuantumSample> timeline; ///< per executed quantum
     std::uint64_t quanta_executed = 0;
     std::uint64_t migrations = 0;
+    std::uint64_t cross_chip_migrations = 0;  ///< subset that changed chips
     std::size_t completed_tasks = 0;
     bool completed = true;  ///< every planned task finished within max_quanta
     double turnaround_quanta = 0.0;  ///< slowest completed task's finish time
@@ -71,14 +74,17 @@ public:
     struct Options {
         std::uint64_t max_quanta = 20'000;  ///< safety cap
         bool record_timeline = true;
+        /// Invariant hook for the property suite: called after every
+        /// quantum's rebind, while the placement is live.
+        std::function<void(const uarch::Platform&)> on_quantum{};
     };
 
     /// The trace's tasks may exceed hardware capacity at any instant —
     /// excess arrivals queue (FIFO) until a thread frees up.
-    ScenarioRunner(uarch::Chip& chip, sched::AllocationPolicy& policy,
+    ScenarioRunner(uarch::Platform& platform, sched::AllocationPolicy& policy,
                    const ScenarioTrace& trace)
-        : ScenarioRunner(chip, policy, trace, Options()) {}
-    ScenarioRunner(uarch::Chip& chip, sched::AllocationPolicy& policy,
+        : ScenarioRunner(platform, policy, trace, Options()) {}
+    ScenarioRunner(uarch::Platform& platform, sched::AllocationPolicy& policy,
                    const ScenarioTrace& trace, Options opts);
 
     /// Executes the scenario; returns the measured result.
@@ -98,7 +104,7 @@ private:
     void admit(std::uint64_t quantum);
     int queued_at(std::uint64_t quantum) const;
 
-    uarch::Chip& chip_;
+    uarch::Platform& platform_;
     sched::AllocationPolicy& policy_;
     const ScenarioTrace& trace_;
     Options opts_;

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sched/topology.hpp"
+
 namespace synpa::sched {
 namespace {
 
@@ -31,15 +33,25 @@ std::vector<std::vector<int>> even_spread(const std::vector<int>& items, std::si
 
 }  // namespace
 
-CoreAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
-                           std::span<const TaskObservation> observations) {
-    return place_groups(from_pairs(pairs), observations, pairs.size());
+std::vector<CoreGroup> groups_from_pairs(const std::vector<std::pair<int, int>>& pairs) {
+    std::vector<CoreGroup> entries;
+    entries.reserve(pairs.size());
+    for (const auto& [a, b] : pairs) {
+        // Skip kNoTask members instead of copying them verbatim: a
+        // (kNoTask, task) spelling must normalize to the occupied-first
+        // {task} group, never to a gap-malformed one that silently hides
+        // the task behind the gap.
+        CoreGroup g;
+        if (a != kNoTask) g.add(a);
+        if (b != kNoTask) g.add(b);
+        entries.push_back(g);
+    }
+    return entries;
 }
 
-CoreAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
-                              std::span<const TaskObservation> observations,
-                              std::size_t cores) {
-    return place_groups(from_pairs(entries), observations, cores);
+CoreAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
+                           std::span<const TaskObservation> observations) {
+    return place_groups(groups_from_pairs(pairs), observations, pairs.size());
 }
 
 CoreAllocation place_groups(const std::vector<CoreGroup>& entries,
@@ -104,7 +116,8 @@ CoreAllocation RandomPolicy::reallocate(std::span<const TaskObservation> observa
     return place_groups(entries, observations, cores);
 }
 
-OraclePolicy::OraclePolicy(model::InterferenceModel model) : model_(model) {}
+OraclePolicy::OraclePolicy(model::InterferenceModel model, double cross_chip_penalty)
+    : model_(model), cross_chip_penalty_(cross_chip_penalty) {}
 
 CoreAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observations) {
     if (observations.empty()) return {};
@@ -123,6 +136,34 @@ CoreAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observa
         }
     }
 
+    const TopologyView topo = observed_topology(observations);
+    if (topo.chips <= 1) return allocate_chip(observations, truth);
+
+    // Multi-chip: assign chips first (migrate only when the true predicted
+    // benefit beats the cross-chip cost), then solve each chip in
+    // isolation — co-run interference never crosses a chip boundary.
+    const model::CategoryVector nobody{};
+    const SoloCost solo = [&](std::size_t i) {
+        return model_.predict_slowdown(truth[i], nobody);
+    };
+    const PairCost pair = [&](std::size_t u, std::size_t v) {
+        return model_.predict_slowdown(truth[u], truth[v]) +
+               model_.predict_slowdown(truth[v], truth[u]);
+    };
+    return allocate_across_chips(
+        observations, topo, solo, pair, cross_chip_penalty_,
+        [&](std::span<const TaskObservation> local, std::span<const std::size_t> idx) {
+            std::vector<model::CategoryVector> local_truth;
+            local_truth.reserve(idx.size());
+            for (const std::size_t i : idx) local_truth.push_back(truth[i]);
+            return allocate_chip(local, local_truth);
+        });
+}
+
+CoreAllocation OraclePolicy::allocate_chip(std::span<const TaskObservation> observations,
+                                           std::span<const model::CategoryVector> truth) {
+    if (observations.empty()) return {};
+    const std::size_t n = observations.size();
     const std::size_t total_cores = observed_total_cores(observations);
     const int width = observed_smt_ways(observations);
 
@@ -179,7 +220,7 @@ CoreAllocation OraclePolicy::reallocate(std::span<const TaskObservation> observa
                                  observations[static_cast<std::size_t>(v)].task_id);
         for (int u : sel.singles)
             entries.emplace_back(observations[static_cast<std::size_t>(u)].task_id, kNoTask);
-        return place_on_cores(entries, observations, total_cores);
+        return place_groups(groups_from_pairs(entries), observations, total_cores);
     }
 
     // Current pairing in index space, for the same hysteresis SYNPA uses.

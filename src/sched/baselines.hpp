@@ -21,6 +21,7 @@
 #include "matching/matching.hpp"
 #include "model/interference_model.hpp"
 #include "sched/policy.hpp"
+#include "sched/topology.hpp"
 
 namespace synpa::sched {
 
@@ -43,12 +44,22 @@ private:
 
 class OraclePolicy final : public AllocationPolicy {
 public:
-    explicit OraclePolicy(model::InterferenceModel model);
+    /// `cross_chip_penalty` is the predicted-slowdown benefit a cross-chip
+    /// move must exceed before the multi-chip balancing pass migrates a
+    /// task (see sched/topology.hpp); irrelevant on one chip.
+    explicit OraclePolicy(model::InterferenceModel model,
+                          double cross_chip_penalty = kDefaultCrossChipPenalty);
     std::string name() const override { return "oracle"; }
     CoreAllocation reallocate(std::span<const TaskObservation> observations) override;
 
 private:
+    /// The single-chip decision on (possibly chip-localized) observations,
+    /// with the matching truth vectors.
+    CoreAllocation allocate_chip(std::span<const TaskObservation> observations,
+                                 std::span<const model::CategoryVector> truth);
+
     model::InterferenceModel model_;
+    double cross_chip_penalty_;
     matching::SubsetDpMatcher matcher_;
 };
 
@@ -98,6 +109,11 @@ private:
 CoreAllocation place_pairs(const std::vector<std::pair<int, int>>& pairs,
                            std::span<const TaskObservation> observations);
 
+/// Spells pair entries as CoreGroups ({a}, {a, b}; kNoTask members are
+/// skipped) — the bridge pair-based solvers use to reach place_groups now
+/// that the deprecated pair-allocation converters are gone.
+std::vector<CoreGroup> groups_from_pairs(const std::vector<std::pair<int, int>>& pairs);
+
 /// Places chosen groups onto an explicit number of cores: each entry keeps
 /// an incumbent core of one of its members when that core is free, the rest
 /// fill the remaining cores in order, and left-over cores idle (empty
@@ -106,9 +122,5 @@ CoreAllocation place_groups(const std::vector<CoreGroup>& entries,
                             std::span<const TaskObservation> observations,
                             std::size_t cores);
 
-/// Deprecated pair-spelling of place_groups, kept for the migration window.
-CoreAllocation place_on_cores(const std::vector<std::pair<int, int>>& entries,
-                              std::span<const TaskObservation> observations,
-                              std::size_t cores);
 
 }  // namespace synpa::sched

@@ -22,30 +22,6 @@ void CoreGroup::add(int task_id) {
     throw std::length_error("CoreGroup::add: group is full");
 }
 
-CoreAllocation from_pairs(const PairAllocation& pairs) {
-    CoreAllocation alloc;
-    alloc.reserve(pairs.size());
-    for (const auto& [a, b] : pairs) alloc.push_back(CoreGroup{a, b});
-    return alloc;
-}
-
-PairAllocation to_pairs(const CoreAllocation& alloc) {
-    PairAllocation pairs;
-    pairs.reserve(alloc.size());
-    for (const CoreGroup& g : alloc) {
-        // Check every slot, not just the occupied prefix: a gap-malformed
-        // group ({task, kNoTask, task, ...}) must throw, not silently drop
-        // the task hiding behind the gap.
-        for (int s = 2; s < uarch::kMaxSmtWays; ++s)
-            if (g.tasks[static_cast<std::size_t>(s)] != kNoTask)
-                throw std::invalid_argument("to_pairs: group holds more than two tasks");
-        if (g.tasks[0] == kNoTask && g.tasks[1] != kNoTask)
-            throw std::invalid_argument("to_pairs: malformed group (gap before a task)");
-        pairs.emplace_back(g.tasks[0], g.tasks[1]);
-    }
-    return pairs;
-}
-
 CoreAllocation AllocationPolicy::initial_allocation(std::span<const int> task_ids,
                                                     int smt_ways) {
     if (task_ids.empty())
@@ -96,6 +72,11 @@ std::size_t observed_total_cores(std::span<const TaskObservation> observations) 
     if (total <= 0)
         throw std::invalid_argument("observed_total_cores: total_cores must be positive");
     return static_cast<std::size_t>(total);
+}
+
+int observed_chip_count(std::span<const TaskObservation> observations) noexcept {
+    if (observations.empty()) return 1;
+    return observations.front().num_chips > 1 ? observations.front().num_chips : 1;
 }
 
 }  // namespace synpa::sched

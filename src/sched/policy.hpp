@@ -72,32 +72,28 @@ struct CoreGroup {
     friend bool operator==(const CoreGroup&, const CoreGroup&) = default;
 };
 
-/// One entry per core, in core order: allocation[c] = the group running on
-/// core c.  Every live task must appear exactly once across the allocation.
+/// One entry per *global* core (chip-major: chip c owns cores
+/// [c*cores_per_chip, (c+1)*cores_per_chip)), in core order:
+/// allocation[g] = the group running on global core g.  Every live task
+/// must appear exactly once across the allocation.
+///
+/// (The PR-3 `PairAllocation` alias and its from_pairs/to_pairs converters
+/// completed their one-release deprecation window and are gone; spell
+/// allocations as CoreAllocation directly.)
 using CoreAllocation = std::vector<CoreGroup>;
-
-/// Deprecated SMT-2 allocation spelling ({task_a, task_b} per core), kept
-/// for one release so downstream callers can migrate; convert at the
-/// boundary with from_pairs/to_pairs.
-using PairAllocation = std::vector<std::pair<int, int>>;
-
-/// Widens a legacy pair allocation into the width-generic form.
-CoreAllocation from_pairs(const PairAllocation& pairs);
-
-/// Narrows a CoreAllocation back to pairs; throws std::invalid_argument if
-/// any group holds more than two tasks (information would be lost).
-PairAllocation to_pairs(const CoreAllocation& alloc);
 
 /// What the manager hands the policy about one task after a quantum.
 struct TaskObservation {
     int task_id = -1;
     int slot_index = -1;  ///< stable workload position 0..N-1 (paper's (04) etc.)
     std::string app_name;
-    int core = -1;              ///< core it ran on during the quantum
+    int core = -1;              ///< *global* core it ran on during the quantum
+    int chip = 0;               ///< chip owning that core (core / cores-per-chip)
     int corunner_task_id = -1;  ///< first task sharing the core (-1 when alone)
     std::vector<int> corunner_task_ids;  ///< every task sharing the core, slot order
-    int smt_ways = 2;           ///< the chip's runtime SMT width
-    int total_cores = 0;        ///< chip core count; drivers always populate it
+    int smt_ways = 2;           ///< the platform's runtime SMT width
+    int num_chips = 1;          ///< chips in the platform
+    int total_cores = 0;        ///< platform-wide core count; always populated
     pmu::CounterBank delta;     ///< counter deltas over the quantum
     model::CategoryBreakdown breakdown;  ///< three-step characterization of delta
 
@@ -147,9 +143,13 @@ CoreAllocation current_allocation(std::span<const TaskObservation> observations,
 /// is empty, matching the historical default).
 int observed_smt_ways(std::span<const TaskObservation> observations) noexcept;
 
-/// The chip core count the observations were taken under.  Throws
+/// The platform-wide core count the observations were taken under.  Throws
 /// std::invalid_argument when the driver failed to populate total_cores —
 /// a clean diagnostic instead of downstream division by zero.
 std::size_t observed_total_cores(std::span<const TaskObservation> observations);
+
+/// Chips in the platform the observations were taken under (1 when
+/// `observations` is empty — the single-socket default).
+int observed_chip_count(std::span<const TaskObservation> observations) noexcept;
 
 }  // namespace synpa::sched

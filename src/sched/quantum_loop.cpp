@@ -7,12 +7,12 @@
 
 namespace synpa::sched {
 
-std::uint64_t bind_allocation(uarch::Chip& chip, const CoreAllocation& alloc,
-                              std::span<apps::AppInstance* const> live,
-                              bool require_full_groups) {
-    if (alloc.size() != static_cast<std::size_t>(chip.core_count()))
+BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc,
+                          std::span<apps::AppInstance* const> live,
+                          bool require_full_groups) {
+    if (alloc.size() != static_cast<std::size_t>(platform.core_count()))
         throw std::runtime_error("bind_allocation: allocation does not cover every core");
-    const int ways = chip.config().smt_ways;
+    const int ways = platform.config().smt_ways;
 
     // Validate the allocation is a permutation of the live tasks.
     std::unordered_map<int, uarch::CpuSlot> target;
@@ -45,45 +45,55 @@ std::uint64_t bind_allocation(uarch::Chip& chip, const CoreAllocation& alloc,
     if (target.size() != live.size())
         throw std::runtime_error("bind_allocation: allocation must place every task once");
 
-    // Count migrations (core changes) before rebinding.
-    std::uint64_t migrations = 0;
+    // Count migrations (core changes, with the cross-chip subset) before
+    // rebinding.
+    BindStats stats;
     for (apps::AppInstance* task : live) {
         const int id = task->id();
         const auto it = target.find(id);
         if (it == target.end())
             throw std::runtime_error("bind_allocation: allocation missing a live task");
-        if (chip.is_bound(id) && chip.placement(id).core != it->second.core) ++migrations;
+        if (!platform.is_bound(id)) continue;
+        const int old_core = platform.placement(id).core;
+        if (old_core != it->second.core) {
+            ++stats.migrations;
+            if (platform.chip_of_core(old_core) != platform.chip_of_core(it->second.core))
+                ++stats.cross_chip;
+        }
     }
 
-    // Rebind: unbind everything, then bind to the new placement.  The chip
-    // only charges a cache-warmup penalty when the core actually changed.
+    // Rebind: unbind everything, then bind to the new placement.  The
+    // platform only charges warmup penalties where the core (or chip)
+    // actually changed.
     for (apps::AppInstance* task : live)
-        if (chip.is_bound(task->id())) chip.unbind(task->id());
-    for (apps::AppInstance* task : live) chip.bind(*task, target.at(task->id()));
-    return migrations;
+        if (platform.is_bound(task->id())) platform.unbind(task->id());
+    for (apps::AppInstance* task : live) platform.bind(*task, target.at(task->id()));
+    return stats;
 }
 
-TaskObservation observe_task(const uarch::Chip& chip, apps::AppInstance& task,
+TaskObservation observe_task(const uarch::Platform& platform, apps::AppInstance& task,
                              int slot_index, const std::string& app_name,
                              const pmu::CounterBank& prev_bank) {
     TaskObservation o;
     o.task_id = task.id();
     o.slot_index = slot_index;
     o.app_name = app_name;
-    const uarch::CpuSlot where = chip.placement(task.id());
+    const uarch::CpuSlot where = platform.placement(task.id());
     o.core = where.core;
-    const uarch::SmtCore& core = chip.core(where.core);
+    o.chip = platform.chip_of_core(where.core);
+    const uarch::SmtCore& core = platform.core(where.core);
     for (int s = 0; s < core.smt_ways(); ++s) {
         if (s == where.slot) continue;
         const auto& sibling = core.slot(s);
         if (sibling.bound()) o.corunner_task_ids.push_back(sibling.task()->id());
     }
     o.corunner_task_id = o.corunner_task_ids.empty() ? -1 : o.corunner_task_ids.front();
-    o.smt_ways = chip.config().smt_ways;
-    o.total_cores = chip.core_count();
+    o.smt_ways = platform.config().smt_ways;
+    o.num_chips = platform.chip_count();
+    o.total_cores = platform.core_count();
     o.instance = &task;
     o.delta = task.counters().delta_since(prev_bank);
-    o.breakdown = model::characterize(o.delta, chip.config().dispatch_width);
+    o.breakdown = model::characterize(o.delta, platform.config().dispatch_width);
     return o;
 }
 

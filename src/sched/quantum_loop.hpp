@@ -1,11 +1,12 @@
 // The quantum-loop primitives shared by the classic methodology driver
 // (ThreadManager) and the open-system driver (scenario::ScenarioRunner).
 //
-// Both drivers execute the same per-quantum cycle — run the chip, observe
-// every live task, let the policy regroup, rebind — and differ only in what
-// happens at a task's finish line (relaunch-in-place vs. retire) and in how
-// tasks enter the system (fixed slots vs. arrivals).  Keeping the mechanics
-// here guarantees the two modes measure and migrate identically.
+// Both drivers execute the same per-quantum cycle — run the platform,
+// observe every live task, let the policy regroup, rebind — and differ only
+// in what happens at a task's finish line (relaunch-in-place vs. retire)
+// and in how tasks enter the system (fixed slots vs. arrivals).  Keeping
+// the mechanics here guarantees the two modes measure and migrate
+// identically, on one chip or many.
 #pragma once
 
 #include <cstdint>
@@ -15,26 +16,41 @@
 #include "apps/instance.hpp"
 #include "pmu/counters.hpp"
 #include "sched/policy.hpp"
-#include "uarch/chip.hpp"
+#include "uarch/platform.hpp"
 
 namespace synpa::sched {
 
-/// Validates `alloc` (entry c = core c; see the CoreAllocation contract in
-/// policy.hpp) against the live tasks — given in stable slot order so the
-/// rebind sequence is deterministic — and applies it to the chip: unbind
-/// everything, then bind to the new placement.  Each group must keep its
-/// occupied slots first and fit the chip's smt_ways.  The chip only charges
-/// a cache-warmup penalty where the core actually changed.  Returns the
-/// number of migrations (core changes) this application caused.  With
-/// `require_full_groups` every core must run exactly smt_ways threads (the
-/// classic closed system keeps the chip saturated).
-std::uint64_t bind_allocation(uarch::Chip& chip, const CoreAllocation& alloc,
-                              std::span<apps::AppInstance* const> live,
-                              bool require_full_groups);
+/// What one bind_allocation application did to the placement.
+struct BindStats {
+    std::uint64_t migrations = 0;   ///< tasks whose (global) core changed
+    std::uint64_t cross_chip = 0;   ///< subset of those that changed chips
 
-/// Builds one task's post-quantum observation: placement, co-runners,
-/// counter deltas against `prev_bank`, and the three-step characterization.
-TaskObservation observe_task(const uarch::Chip& chip, apps::AppInstance& task,
+    BindStats& operator+=(const BindStats& other) noexcept {
+        migrations += other.migrations;
+        cross_chip += other.cross_chip;
+        return *this;
+    }
+};
+
+/// Validates `alloc` (entry g = global core g; see the CoreAllocation
+/// contract in policy.hpp) against the live tasks — given in stable slot
+/// order so the rebind sequence is deterministic — and applies it to the
+/// platform: unbind everything, then bind to the new placement.  Each group
+/// must keep its occupied slots first and fit the platform's smt_ways.  The
+/// platform charges a local cache-warmup penalty where the core changed and
+/// the larger cross-chip window where the chip changed.  Returns the
+/// migrations this application caused, split into total core changes and
+/// the cross-chip subset.  With `require_full_groups` every core must run
+/// exactly smt_ways threads (the classic closed system keeps every chip
+/// saturated).
+BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc,
+                          std::span<apps::AppInstance* const> live,
+                          bool require_full_groups);
+
+/// Builds one task's post-quantum observation: global placement (core and
+/// chip), co-runners, counter deltas against `prev_bank`, and the
+/// three-step characterization.
+TaskObservation observe_task(const uarch::Platform& platform, apps::AppInstance& task,
                              int slot_index, const std::string& app_name,
                              const pmu::CounterBank& prev_bank);
 

@@ -10,13 +10,11 @@
 
 namespace synpa::sched {
 
-ThreadManager::ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
+ThreadManager::ThreadManager(uarch::Platform& platform, AllocationPolicy& policy,
                              std::span<const TaskSpec> specs, Options opts)
-    : chip_(chip), policy_(policy), opts_(opts) {
-    const auto capacity = static_cast<std::size_t>(chip_.core_count()) *
-                          static_cast<std::size_t>(chip_.config().smt_ways);
-    if (specs.size() != capacity)
-        throw std::invalid_argument("ThreadManager: task count must fill the chip");
+    : platform_(platform), policy_(policy), opts_(opts) {
+    if (specs.size() != static_cast<std::size_t>(platform_.hw_contexts()))
+        throw std::invalid_argument("ThreadManager: task count must fill the platform");
     slots_.reserve(specs.size());
     for (const TaskSpec& spec : specs) {
         Slot slot;
@@ -34,7 +32,7 @@ void ThreadManager::apply_allocation(const CoreAllocation& alloc) {
     std::vector<apps::AppInstance*> live;
     live.reserve(slots_.size());
     for (Slot& s : slots_) live.push_back(s.task.get());
-    migrations_ += bind_allocation(chip_, alloc, live, /*require_full_groups=*/true);
+    bind_stats_ += bind_allocation(platform_, alloc, live, /*require_full_groups=*/true);
 }
 
 RunResult ThreadManager::run() {
@@ -45,14 +43,14 @@ RunResult ThreadManager::run() {
     std::vector<int> ids;
     ids.reserve(slots_.size());
     for (const Slot& s : slots_) ids.push_back(s.task->id());
-    apply_allocation(policy_.initial_allocation(ids, chip_.config().smt_ways));
+    apply_allocation(policy_.initial_allocation(ids, platform_.config().smt_ways));
 
-    const auto qcycles = static_cast<double>(chip_.config().cycles_per_quantum);
+    const auto qcycles = static_cast<double>(platform_.config().cycles_per_quantum);
     std::uint64_t quantum = 0;
     std::size_t finished = 0;
 
     while (finished < slots_.size() && quantum < opts_.max_quanta) {
-        chip_.run_quantum();
+        platform_.run_quantum();
         ++quantum;
 
         // Observe every slot.  Counter banks are cumulative per instance;
@@ -62,7 +60,7 @@ RunResult ThreadManager::run() {
         std::vector<TaskObservation> obs(slots_.size());
         for (std::size_t s = 0; s < slots_.size(); ++s) {
             Slot& slot = slots_[s];
-            obs[s] = observe_task(chip_, *slot.task, static_cast<int>(s),
+            obs[s] = observe_task(platform_, *slot.task, static_cast<int>(s),
                                   slot.spec.app_name, slot.prev_bank);
         }
 
@@ -115,6 +113,7 @@ RunResult ThreadManager::run() {
                     out.isolated_ipc = slot.spec.isolated_ipc;
                     out.individual_speedup =
                         out.isolated_ipc > 0.0 ? out.ipc_smt / out.isolated_ipc : 0.0;
+                    out.final_core = o.core;
                     const double total = std::max(slot.cycles_observed, 1.0);
                     for (std::size_t c = 0; c < model::kCategoryCount; ++c)
                         out.mean_fractions[c] = slot.category_cycles[c] / total;
@@ -126,12 +125,13 @@ RunResult ThreadManager::run() {
                     // takes over the hardware slot to keep the load at 8.
                     ++slot.relaunches;
                     const int old_id = task.id();
-                    const uarch::CpuSlot where = chip_.placement(old_id);
-                    chip_.unbind(old_id);
+                    const uarch::CpuSlot where = platform_.placement(old_id);
+                    platform_.unbind(old_id);
                     slot.task = std::make_unique<apps::AppInstance>(
                         next_task_id_++, apps::find_app(slot.spec.app_name),
                         common::derive_key(slot.spec.seed, 0x1e1a, slot.relaunches));
-                    chip_.bind(*slot.task, where);
+                    platform_.bind(*slot.task, where);
+                    platform_.forget_task(old_id);  // the old id never returns
                     policy_.on_task_replaced(old_id, slot.task->id());
                     replaced[old_id] = slot.task->id();
                     slot.prev_bank = pmu::CounterBank{};
@@ -164,10 +164,12 @@ RunResult ThreadManager::run() {
             }
         }
         apply_allocation(policy_.reallocate(obs));
+        if (opts_.on_quantum) opts_.on_quantum(platform_);
     }
 
     result.quanta_executed = quantum;
-    result.migrations = migrations_;
+    result.migrations = bind_stats_.migrations;
+    result.cross_chip_migrations = bind_stats_.cross_chip;
     result.completed = finished >= slots_.size();
     double tt = 0.0;
     for (Slot& slot : slots_) {

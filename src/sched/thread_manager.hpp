@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -21,7 +22,8 @@
 #include "apps/instance.hpp"
 #include "model/categories.hpp"
 #include "sched/policy.hpp"
-#include "uarch/chip.hpp"
+#include "sched/quantum_loop.hpp"
+#include "uarch/platform.hpp"
 
 namespace synpa::sched {
 
@@ -53,6 +55,7 @@ struct TaskOutcome {
     double ipc_smt = 0.0;         ///< target instructions / cycles to finish
     double isolated_ipc = 0.0;
     double individual_speedup = 0.0;  ///< ipc_smt / isolated_ipc
+    int final_core = -1;  ///< global core the task finished on
 
     /// Aggregate category fractions over the task's run (Figure 6 bars).
     std::array<double, model::kCategoryCount> mean_fractions{};
@@ -63,6 +66,7 @@ struct RunResult {
     double turnaround_quanta = 0.0;  ///< slowest original task's finish time
     std::uint64_t quanta_executed = 0;
     std::uint64_t migrations = 0;  ///< core changes applied across the run
+    std::uint64_t cross_chip_migrations = 0;  ///< subset that changed chips
     std::vector<TaskOutcome> outcomes;              ///< one per workload slot
     std::vector<std::vector<QuantumTrace>> traces;  ///< per slot, per quantum
     bool completed = true;  ///< false if the safety quantum cap was hit
@@ -73,14 +77,17 @@ public:
     struct Options {
         std::uint64_t max_quanta = 20'000;  ///< safety cap
         bool record_traces = true;
+        /// Invariant hook for the property suite: called after every
+        /// quantum's rebind, while the placement is live.
+        std::function<void(const uarch::Platform&)> on_quantum{};
     };
 
-    /// The chip must have exactly specs.size() hardware threads free
-    /// (specs.size() == smt_ways * chip.core_count()).
-    ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
+    /// The platform must have exactly specs.size() hardware threads free
+    /// (specs.size() == platform.hw_contexts()).
+    ThreadManager(uarch::Platform& platform, AllocationPolicy& policy,
                   std::span<const TaskSpec> specs)
-        : ThreadManager(chip, policy, specs, Options()) {}
-    ThreadManager(uarch::Chip& chip, AllocationPolicy& policy,
+        : ThreadManager(platform, policy, specs, Options()) {}
+    ThreadManager(uarch::Platform& platform, AllocationPolicy& policy,
                   std::span<const TaskSpec> specs, Options opts);
 
     /// Executes the workload to completion; returns the measured result.
@@ -102,12 +109,12 @@ private:
 
     void apply_allocation(const CoreAllocation& alloc);
 
-    uarch::Chip& chip_;
+    uarch::Platform& platform_;
     AllocationPolicy& policy_;
     Options opts_;
     std::vector<Slot> slots_;
     int next_task_id_ = 1;
-    std::uint64_t migrations_ = 0;
+    BindStats bind_stats_;
 };
 
 }  // namespace synpa::sched

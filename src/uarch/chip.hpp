@@ -50,6 +50,11 @@ public:
     /// state and can be bound again later).
     void unbind(int task_id);
 
+    /// Drops the task's migration history (last-core memory).  For tasks
+    /// that retired for good — their ids are never reused, so keeping the
+    /// entry would only grow the map for the lifetime of the run.
+    void forget_task(int task_id) noexcept { last_core_.erase(task_id); }
+
     /// Where a task currently runs; throws if not bound.
     CpuSlot placement(int task_id) const;
     bool is_bound(int task_id) const noexcept { return placement_.contains(task_id); }

@@ -1,0 +1,114 @@
+#include "uarch/platform.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace synpa::uarch {
+
+Platform::Platform(const SimConfig& cfg) : cfg_(cfg) {
+    if (cfg_.num_chips < 1)
+        throw std::invalid_argument("Platform: num_chips must be at least 1");
+    chips_.reserve(static_cast<std::size_t>(cfg_.num_chips));
+    for (int c = 0; c < cfg_.num_chips; ++c) chips_.push_back(std::make_unique<Chip>(cfg_));
+}
+
+void Platform::bind(apps::AppInstance& task, CpuSlot where) {
+    if (where.core < 0 || where.core >= core_count())
+        throw std::out_of_range("Platform::bind: bad global core");
+    const int target_chip = chip_of_core(where.core);
+    chip(target_chip).bind(task, {.core = local_core(where.core), .slot = where.slot});
+
+    // Cross-chip move: override the chip's local warmup (if any) with the
+    // larger remote window.  Charged after the chip bind so the bigger
+    // penalty wins regardless of the task's history on the target chip.
+    const auto prev = last_chip_.find(task.id());
+    if (prev != last_chip_.end() && prev->second != target_chip) {
+        task.start_warmup(cfg_.cross_chip_warmup_insts(), cfg_.cross_chip_miss_multiplier);
+        ++cross_chip_migrations_;
+    }
+    last_chip_[task.id()] = target_chip;
+}
+
+void Platform::unbind(int task_id) {
+    const auto it = last_chip_.find(task_id);
+    if (it == last_chip_.end() || !chip(it->second).is_bound(task_id))
+        throw std::logic_error("Platform::unbind: task not bound");
+    chip(it->second).unbind(task_id);
+}
+
+void Platform::forget_task(int task_id) noexcept {
+    for (const auto& chip : chips_) chip->forget_task(task_id);
+    last_chip_.erase(task_id);
+}
+
+CpuSlot Platform::placement(int task_id) const {
+    const auto it = last_chip_.find(task_id);
+    if (it == last_chip_.end() || !chip(it->second).is_bound(task_id))
+        throw std::logic_error("Platform::placement: task not bound");
+    const CpuSlot local = chip(it->second).placement(task_id);
+    return {.core = it->second * cores_per_chip() + local.core, .slot = local.slot};
+}
+
+bool Platform::is_bound(int task_id) const noexcept {
+    const auto it = last_chip_.find(task_id);
+    return it != last_chip_.end() && chip(it->second).is_bound(task_id);
+}
+
+std::vector<apps::AppInstance*> Platform::bound_tasks() const {
+    std::vector<apps::AppInstance*> out;
+    for (const auto& chip : chips_) {
+        const std::vector<apps::AppInstance*> local = chip->bound_tasks();
+        out.insert(out.end(), local.begin(), local.end());
+    }
+    return out;
+}
+
+void Platform::run_quantum() {
+    for (const auto& chip : chips_) chip->run_quantum();
+    now_ += cfg_.cycles_per_quantum;
+    ++quanta_;
+}
+
+pmu::CounterBank Platform::task_counters(int task_id) const {
+    const auto it = last_chip_.find(task_id);
+    if (it == last_chip_.end())
+        throw std::logic_error("Platform::task_counters: unknown task");
+    return chip(it->second).task_counters(task_id);
+}
+
+void validate_platform(const Platform& platform) {
+    const SimConfig& cfg = platform.config();
+    std::set<int> seen;
+    int bound = 0;
+    for (int chip_id = 0; chip_id < platform.chip_count(); ++chip_id) {
+        const Chip& chip = platform.chip(chip_id);
+        if (chip.core_count() != cfg.cores)
+            throw std::logic_error("validate_platform: chip core count mismatch");
+        for (int c = 0; c < chip.core_count(); ++c) {
+            const SmtCore& core = chip.core(c);
+            for (int s = 0; s < kMaxSmtWays; ++s) {
+                const ThreadContext& ctx = core.slot(s);
+                if (!ctx.bound()) continue;
+                if (s >= cfg.smt_ways)
+                    throw std::logic_error(
+                        "validate_platform: task bound beyond the configured SMT width");
+                const int id = ctx.task()->id();
+                if (!seen.insert(id).second)
+                    throw std::logic_error("validate_platform: task " + std::to_string(id) +
+                                           " bound to more than one slot");
+                ++bound;
+                const CpuSlot global = platform.placement(id);
+                if (global.core != chip_id * cfg.cores + c || global.slot != s)
+                    throw std::logic_error(
+                        "validate_platform: placement map disagrees with slot state");
+            }
+        }
+    }
+    if (bound > platform.hw_contexts())
+        throw std::logic_error("validate_platform: more bound tasks than hardware contexts");
+    if (platform.bound_tasks().size() != static_cast<std::size_t>(bound))
+        throw std::logic_error("validate_platform: bound_tasks() disagrees with slot scan");
+}
+
+}  // namespace synpa::uarch

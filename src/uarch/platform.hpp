@@ -1,0 +1,115 @@
+// The platform: num_chips identical chips (sockets), each with its own
+// cores, LLC and DRAM channel, addressed through one *global* core-id
+// space: global core g lives on chip g / cores_per_chip at local index
+// g % cores_per_chip.
+//
+// The platform is the drivers' substrate (ThreadManager and ScenarioRunner
+// bind through it) and the owner of the topology-aware migration-cost
+// model.  Moves form a cost hierarchy:
+//   * slot move within a core        — free (architectural state follows),
+//   * core move within a chip        — the chip's own L1/L2 warmup window
+//     (SimConfig::warmup_insts / warmup_miss_multiplier, the PR-0 model),
+//   * move across chips              — everything is cold *and* remote: the
+//     platform charges cross_chip_warmup_quanta quanta of degraded IPC at
+//     cross_chip_miss_multiplier, decaying linearly (cold L2/TLB plus
+//     remote-memory latency until the working set migrates).
+// A single-chip platform is bit-identical to driving the chip directly:
+// every bind forwards unchanged and the cross-chip path never triggers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/instance.hpp"
+#include "pmu/perf_session.hpp"
+#include "uarch/chip.hpp"
+#include "uarch/sim_config.hpp"
+
+namespace synpa::uarch {
+
+class Platform : public pmu::CounterSource {
+public:
+    /// Builds cfg.num_chips chips of cfg.cores cores each (all identical).
+    explicit Platform(const SimConfig& cfg);
+
+    const SimConfig& config() const noexcept { return cfg_; }
+    int chip_count() const noexcept { return static_cast<int>(chips_.size()); }
+    int cores_per_chip() const noexcept { return cfg_.cores; }
+    /// Total cores across every chip — the size of the global core-id space.
+    int core_count() const noexcept { return chip_count() * cores_per_chip(); }
+    /// Total hardware threads (cores x smt_ways).
+    int hw_contexts() const noexcept { return core_count() * cfg_.smt_ways; }
+
+    Chip& chip(int c) { return *chips_.at(static_cast<std::size_t>(c)); }
+    const Chip& chip(int c) const { return *chips_.at(static_cast<std::size_t>(c)); }
+
+    /// Which chip a global core id belongs to.
+    int chip_of_core(int global_core) const noexcept { return global_core / cfg_.cores; }
+    /// A global core id's index within its chip.
+    int local_core(int global_core) const noexcept { return global_core % cfg_.cores; }
+
+    /// The SMT core behind a global core id.
+    const SmtCore& core(int global_core) const {
+        return chip(chip_of_core(global_core)).core(local_core(global_core));
+    }
+
+    /// Binds a task to a hardware thread; `where.core` is a *global* core
+    /// id.  Rebinding onto a different chip than the task last ran on
+    /// charges the cross-chip warmup window (see file comment); a core move
+    /// within the last chip charges the chip's cheaper local window.
+    void bind(apps::AppInstance& task, CpuSlot where);
+
+    /// Removes the task from its hardware thread (architectural state and
+    /// migration history survive, so it can be bound again later).
+    void unbind(int task_id);
+
+    /// Drops a task's migration history platform-wide.  Drivers call this
+    /// when a task leaves the system for good (retirement, relaunch
+    /// replacement): ids are never reused, so the last-chip/last-core maps
+    /// would otherwise grow by one dead entry per task ever admitted.
+    void forget_task(int task_id) noexcept;
+
+    /// Where a task currently runs (global core id); throws if not bound.
+    CpuSlot placement(int task_id) const;
+    bool is_bound(int task_id) const noexcept;
+
+    /// All currently bound tasks across every chip (unspecified order).
+    std::vector<apps::AppInstance*> bound_tasks() const;
+
+    /// Runs one scheduling quantum on every chip in lockstep.
+    void run_quantum();
+
+    /// Cycles simulated so far.
+    std::uint64_t now() const noexcept { return now_; }
+    /// Quanta completed so far.
+    std::uint64_t quanta_elapsed() const noexcept { return quanta_; }
+
+    /// Cross-chip migrations charged so far (each one started a cross-chip
+    /// warmup window on the moved task).
+    std::uint64_t cross_chip_migrations() const noexcept { return cross_chip_migrations_; }
+
+    // pmu::CounterSource: cumulative counters for a bound-or-known task.
+    pmu::CounterBank task_counters(int task_id) const override;
+
+private:
+    SimConfig cfg_;
+    /// unique_ptr: Chip's SmtCores point into the owning Chip's SimConfig,
+    /// so Chip must never relocate once constructed.
+    std::vector<std::unique_ptr<Chip>> chips_;
+    std::unordered_map<int, int> last_chip_;  ///< survives unbind; drives warmup
+    std::uint64_t now_ = 0;
+    std::uint64_t quanta_ = 0;
+    std::uint64_t cross_chip_migrations_ = 0;
+};
+
+/// Structural invariant check, used by the property/fuzz suite after every
+/// quantum: every bound task occupies exactly one slot platform-wide, no
+/// core runs more threads than smt_ways (slots beyond the width stay
+/// empty), occupancy never exceeds chips x cores x smt_ways, and the
+/// placement map agrees with the slot-level state.  Throws std::logic_error
+/// naming the first violation.
+void validate_platform(const Platform& platform);
+
+}  // namespace synpa::uarch

@@ -32,6 +32,9 @@ std::uint64_t config_fingerprint(const SimConfig& cfg) noexcept {
     mix_dbl(cfg.l2_kb);
     mix_dbl(cfg.llc_mb);
     mix_int(cfg.cores);
+    mix_int(cfg.num_chips);
+    mix_int(cfg.cross_chip_warmup_quanta);
+    mix_dbl(cfg.cross_chip_miss_multiplier);
     mix_int(cfg.l2_latency);
     mix_int(cfg.llc_latency);
     mix_int(cfg.mem_latency);
@@ -54,6 +57,12 @@ SimConfig SimConfig::from_env() {
     using common::env_int;
     SimConfig c;
     c.cores = static_cast<int>(env_int("SYNPA_CORES", c.cores));
+    c.num_chips = static_cast<int>(
+        std::max<std::int64_t>(env_int("SYNPA_NUM_CHIPS", c.num_chips), 1));
+    c.cross_chip_warmup_quanta = static_cast<int>(std::max<std::int64_t>(
+        env_int("SYNPA_XCHIP_WARMUP_QUANTA", c.cross_chip_warmup_quanta), 0));
+    c.cross_chip_miss_multiplier =
+        env_double("SYNPA_XCHIP_MISS_MULT", c.cross_chip_miss_multiplier);
     c.smt_ways = static_cast<int>(
         std::clamp<std::int64_t>(env_int("SYNPA_SMT_WAYS", c.smt_ways), 1, kMaxSmtWays));
     c.cycles_per_quantum = static_cast<std::uint64_t>(

@@ -32,7 +32,22 @@ struct SimConfig {
     double l1d_kb = 32.0;
     double l2_kb = 256.0;          ///< per core, shared by its SMT threads
     double llc_mb = 28.0;          ///< chip-wide shared last-level cache
-    int cores = 4;                 ///< cores used by the 8-app workloads
+    int cores = 4;                 ///< cores *per chip* used by the 8-app workloads
+
+    // ---- platform topology ------------------------------------------------
+    // The paper's target machines are dual-socket ThunderX2 boxes; a
+    // Platform (uarch/platform.hpp) instantiates `num_chips` identical
+    // chips, each with its own LLC and DRAM channel.  Moving a task across
+    // chips is far more expensive than a same-chip core move: the L2 *and*
+    // the remote LLC/TLB state are cold, and until refill completes the
+    // task's memory traffic pays remote-socket latency.  That is modeled as
+    // a warmup window of `cross_chip_warmup_quanta` quanta (scaled through
+    // cycles_per_quantum) at miss multiplier `cross_chip_miss_multiplier`,
+    // decaying linearly — visibly degraded IPC for the K quanta after a
+    // cross-chip rebind.
+    int num_chips = 1;                      ///< chips (sockets) in the platform
+    int cross_chip_warmup_quanta = 2;       ///< K: quanta of degraded IPC
+    double cross_chip_miss_multiplier = 2.5;  ///< peak cold-cache factor
 
     // ---- latencies (cycles) ---------------------------------------------
     int l2_latency = 12;
@@ -76,8 +91,16 @@ struct SimConfig {
         return rob_size / (active_threads > 1 ? active_threads : 1);
     }
 
+    /// Cold-cache window charged on a cross-chip migration, in instructions
+    /// (the warmup state decays per retired instruction; K quanta at an
+    /// IPC near 1 is K * cycles_per_quantum instructions).
+    std::uint64_t cross_chip_warmup_insts() const noexcept {
+        return static_cast<std::uint64_t>(cross_chip_warmup_quanta) * cycles_per_quantum;
+    }
+
     /// Loads defaults then applies SYNPA_* environment overrides
-    /// (SYNPA_QUANTUM_CYCLES, SYNPA_CORES, SYNPA_MEM_LATENCY, ...).
+    /// (SYNPA_QUANTUM_CYCLES, SYNPA_CORES, SYNPA_NUM_CHIPS,
+    /// SYNPA_MEM_LATENCY, ...).
     static SimConfig from_env();
 };
 

@@ -10,7 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "exp/campaign.hpp"
 #include "model/trainer.hpp"
-#include "uarch/chip.hpp"
+#include "uarch/platform.hpp"
 
 namespace synpa::workloads {
 namespace {
@@ -63,9 +63,11 @@ TargetProfile profile_target(const std::string& app_name, const uarch::SimConfig
 
 PreparedWorkload prepare_workload(const WorkloadSpec& spec, const uarch::SimConfig& cfg,
                                   const MethodologyOptions& opts, int rep) {
-    if (spec.app_names.size() !=
-        static_cast<std::size_t>(cfg.cores) * static_cast<std::size_t>(cfg.smt_ways))
-        throw std::invalid_argument("prepare_workload: workload size must fill the chip");
+    if (spec.app_names.size() != static_cast<std::size_t>(cfg.num_chips) *
+                                     static_cast<std::size_t>(cfg.cores) *
+                                     static_cast<std::size_t>(cfg.smt_ways))
+        throw std::invalid_argument(
+            "prepare_workload: workload size must fill the platform");
     PreparedWorkload prepared;
     prepared.spec = spec;
     prepared.tasks.resize(spec.app_names.size());
@@ -88,9 +90,9 @@ sched::RunResult run_workload_once(const PreparedWorkload& prepared,
                                    const uarch::SimConfig& cfg,
                                    sched::AllocationPolicy& policy,
                                    const MethodologyOptions& opts) {
-    uarch::Chip chip(cfg);
+    uarch::Platform platform(cfg);
     sched::ThreadManager manager(
-        chip, policy, prepared.tasks,
+        platform, policy, prepared.tasks,
         {.max_quanta = opts.max_quanta, .record_traces = opts.record_traces});
     return manager.run();
 }

@@ -470,6 +470,55 @@ TEST(Grouping, PrefersPartialGroupsWhenSolosAreCheap) {
     EXPECT_DOUBLE_EQ(got.total_weight, 5.0);
 }
 
+TEST(Grouping, GreedyStaysWithinFactorOfExactAtTheSwitchover) {
+    // min_weight_grouping runs the exact subset DP up to N = 12 and the
+    // greedy + local-search heuristic from N = 13 on.  Right at the
+    // boundary the two are comparable *on the cost structure the scheduler
+    // actually feeds them* — SYNPA's group predictor is additive in the
+    // pairwise terms (Equation 1 superposition), not an arbitrary table —
+    // so across a batch of random pairwise instances at N = 12 the
+    // heuristic must stay within a fixed factor of the exact optimum (and
+    // never beat it — the DP is optimal).  Crossing 12 -> 13 live tasks
+    // therefore cannot cliff the allocation quality.
+    constexpr double kFactor = 1.5;
+    const std::size_t n = 12;
+    for (const std::size_t width : {3u, 4u}) {
+        for (const std::size_t cores : {(n + width - 1) / width, n / 2}) {
+            for (std::uint64_t seed = 0; seed < 8; ++seed) {
+                const WeightMatrix w =
+                    random_matrix(n, 0x12b0 + 97 * seed + 13 * width + cores, 1.0, 6.0);
+                Rng rng(seed + 31 * width, 0x5010);
+                std::vector<double> solo(n);
+                for (double& x : solo) x = rng.uniform(0.8, 2.0);
+                const GroupCost cost = [&](std::span<const int> group) {
+                    double total = 0.0;
+                    for (std::size_t a = 0; a < group.size(); ++a)
+                        for (std::size_t b = a + 1; b < group.size(); ++b)
+                            total += w.get(static_cast<std::size_t>(group[a]),
+                                           static_cast<std::size_t>(group[b]));
+                    if (group.size() == 1)
+                        total = solo[static_cast<std::size_t>(group[0])];
+                    return total;
+                };
+                const GroupingResult exact = min_weight_grouping(n, cores, width, cost);
+                const GroupingResult greedy =
+                    min_weight_grouping_heuristic(n, cores, width, cost);
+                expect_valid_grouping(greedy, n, cores, width);
+                EXPECT_GE(greedy.total_weight, exact.total_weight - 1e-9)
+                    << "heuristic beat the exact optimum?!";
+                EXPECT_LE(greedy.total_weight, kFactor * exact.total_weight + 1e-9)
+                    << "width=" << width << " cores=" << cores << " seed=" << seed;
+            }
+        }
+    }
+    // N = 13 (first heuristic-path size) stays feasible and deterministic.
+    const std::vector<double> table = random_cost_table(13, 0x13);
+    const GroupingResult a = min_weight_grouping(13, 4, 4, table_cost(table));
+    const GroupingResult b = min_weight_grouping(13, 4, 4, table_cost(table));
+    expect_valid_grouping(a, 13, 4, 4);
+    EXPECT_EQ(a.groups, b.groups);
+}
+
 TEST(Grouping, RejectsInfeasibleInstances) {
     const GroupCost unit = [](std::span<const int>) { return 1.0; };
     EXPECT_THROW(min_weight_grouping(9, 2, 4, unit), std::invalid_argument);

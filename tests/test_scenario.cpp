@@ -20,7 +20,7 @@
 #include "scenario/scenario.hpp"
 #include "sched/baselines.hpp"
 #include "sched/thread_manager.hpp"
-#include "uarch/chip.hpp"
+#include "uarch/platform.hpp"
 
 namespace {
 
@@ -138,15 +138,15 @@ template <class MakePolicy>
 void expect_closed_matches_classic(const uarch::SimConfig& cfg, MakePolicy make_policy) {
     const std::vector<sched::TaskSpec> specs = classic_workload();
 
-    uarch::Chip classic_chip(cfg);
+    uarch::Platform classic_platform(cfg);
     auto classic_policy = make_policy();
-    sched::ThreadManager manager(classic_chip, *classic_policy, specs);
+    sched::ThreadManager manager(classic_platform, *classic_policy, specs);
     const sched::RunResult classic = manager.run();
 
-    uarch::Chip scenario_chip(cfg);
+    uarch::Platform scenario_platform(cfg);
     auto scenario_policy = make_policy();
     const scenario::ScenarioTrace trace = scenario::closed_trace("classic", specs);
-    scenario::ScenarioRunner runner(scenario_chip, *scenario_policy, trace);
+    scenario::ScenarioRunner runner(scenario_platform, *scenario_policy, trace);
     const scenario::ScenarioResult result = runner.run();
 
     // Bit-identical reproduction of the classic methodology results.
@@ -214,10 +214,10 @@ scenario::ScenarioTrace flat_trace(int n, const uarch::SimConfig& cfg) {
 TEST(ScenarioRunner, PartialLoadRunsSinglesAndCompletes) {
     const uarch::SimConfig cfg = chip4x2_config();
     for (const int n : {1, 3, 5, 7}) {  // odd and under-subscribed counts
-        uarch::Chip chip(cfg);
+        uarch::Platform platform(cfg);
         core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
         const scenario::ScenarioTrace trace = flat_trace(n, cfg);
-        scenario::ScenarioRunner runner(chip, policy, trace);
+        scenario::ScenarioRunner runner(platform, policy, trace);
         const scenario::ScenarioResult result = runner.run();
         EXPECT_TRUE(result.completed) << n << " tasks";
         EXPECT_EQ(result.completed_tasks, static_cast<std::size_t>(n));
@@ -226,16 +226,16 @@ TEST(ScenarioRunner, PartialLoadRunsSinglesAndCompletes) {
             EXPECT_LE(s.live, n);
             EXPECT_LE(s.utilization, static_cast<double>(n) / 8.0 + 1e-9);
         }
-        EXPECT_EQ(chip.bound_tasks().size(), 0u);  // everything retired
+        EXPECT_EQ(platform.bound_tasks().size(), 0u);  // everything retired
     }
 }
 
 TEST(ScenarioRunner, OverloadQueuesFifoAndDrains) {
     const uarch::SimConfig cfg = chip4x2_config();
-    uarch::Chip chip(cfg);
+    uarch::Platform platform(cfg);
     sched::LinuxPolicy policy;
     const scenario::ScenarioTrace trace = flat_trace(11, cfg);  // 8 slots + 3 queued
-    scenario::ScenarioRunner runner(chip, policy, trace);
+    scenario::ScenarioRunner runner(platform, policy, trace);
     const scenario::ScenarioResult result = runner.run();
     EXPECT_TRUE(result.completed);
     EXPECT_EQ(result.completed_tasks, 11u);
@@ -266,9 +266,9 @@ TEST(ScenarioRunner, SamplingPolicySurvivesLiveSetGrowth) {
     spec.seed = 21;
     const scenario::ScenarioTrace trace = scenario::build_trace(spec, cfg);
 
-    uarch::Chip chip(cfg);
+    uarch::Platform platform(cfg);
     sched::SamplingPolicy policy(5, {.explore_quanta = 3, .exploit_quanta = 6});
-    scenario::ScenarioRunner runner(chip, policy, trace);
+    scenario::ScenarioRunner runner(platform, policy, trace);
     const scenario::ScenarioResult result = runner.run();
     EXPECT_TRUE(result.completed);
     EXPECT_EQ(result.completed_tasks, trace.tasks.size());
@@ -277,11 +277,11 @@ TEST(ScenarioRunner, SamplingPolicySurvivesLiveSetGrowth) {
 TEST(ScenarioRunner, OpenSystemIsDeterministic) {
     const uarch::SimConfig cfg = chip4x2_config();
     const auto run_once = [&cfg] {
-        uarch::Chip chip(cfg);
+        uarch::Platform platform(cfg);
         core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
         const scenario::ScenarioTrace trace =
             scenario::build_trace(poisson_spec(0.9), cfg);
-        return scenario::ScenarioRunner(chip, policy, trace).run();
+        return scenario::ScenarioRunner(platform, policy, trace).run();
     };
     const scenario::ScenarioResult a = run_once();
     const scenario::ScenarioResult b = run_once();
@@ -298,10 +298,10 @@ TEST(ScenarioRunner, Smt4OpenSystemCompletesAndConservesTasks) {
     // count must respect the widened capacity, and nothing may stay bound.
     const uarch::SimConfig cfg = chip2x4_config();
     for (const int n : {3, 6, 9, 11}) {  // partial, saturated, oversubscribed
-        uarch::Chip chip(cfg);
+        uarch::Platform platform(cfg);
         core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
         const scenario::ScenarioTrace trace = flat_trace(n, cfg);
-        scenario::ScenarioRunner runner(chip, policy, trace);
+        scenario::ScenarioRunner runner(platform, policy, trace);
         const scenario::ScenarioResult result = runner.run();
         EXPECT_TRUE(result.completed) << n << " tasks";
         EXPECT_EQ(result.completed_tasks, static_cast<std::size_t>(n));
@@ -310,8 +310,64 @@ TEST(ScenarioRunner, Smt4OpenSystemCompletesAndConservesTasks) {
         EXPECT_EQ(finished, static_cast<std::size_t>(n));  // each exactly once
         for (const scenario::QuantumSample& s : result.timeline)
             EXPECT_LE(s.live, 8);  // 2 cores x 4 ways
-        EXPECT_EQ(chip.bound_tasks().size(), 0u);
+        EXPECT_EQ(platform.bound_tasks().size(), 0u);
     }
+}
+
+// ---------- multi-chip acceptance ----------
+
+TEST(Multichip, FourChipThirtyTwoCoreScenarioCompletesAtScale) {
+    // The PR's scale unlock: 4 chips x 32 cores x SMT-4 = 512 hardware
+    // contexts, open-system Poisson arrivals, the topology-aware SYNPA
+    // policy — with every platform invariant re-validated after every
+    // quantum.  Every planned task must finish exactly once, and the
+    // benefit-gated balancer must keep cross-chip churn a tiny fraction of
+    // total migrations.
+    uarch::SimConfig cfg;
+    cfg.num_chips = 4;
+    cfg.cores = 32;
+    cfg.smt_ways = 4;
+    cfg.cycles_per_quantum = 1'000;
+
+    scenario::ScenarioSpec spec;
+    spec.name = "4x32x4";
+    spec.process = scenario::ArrivalProcess::kPoisson;
+    spec.app_mix = {"mcf", "leela_r", "gobmk", "nab_r", "bwaves"};
+    spec.service_quanta = 4;
+    spec.horizon_quanta = 10;
+    spec.seed = 3;
+    const double capacity = 4.0 * 32.0 * 4.0;
+    spec.arrival_rate = 0.5 * capacity / 4.0;
+    spec.initial_tasks = 128;
+    const scenario::ScenarioTrace trace = scenario::build_trace(spec, cfg);
+    ASSERT_GT(trace.tasks.size(), 300u);  // genuinely large
+
+    uarch::Platform platform(cfg);
+    EXPECT_EQ(platform.hw_contexts(), 512);
+    core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
+    scenario::ScenarioRunner::Options opts;
+    opts.max_quanta = 2'000;
+    opts.record_timeline = false;
+    opts.on_quantum = [](const uarch::Platform& p) { uarch::validate_platform(p); };
+    scenario::ScenarioRunner runner(platform, policy, trace, opts);
+    const scenario::ScenarioResult result = runner.run();
+
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.completed_tasks, trace.tasks.size());
+    std::size_t finished = 0;
+    for (const scenario::TaskRecord& rec : result.tasks) {
+        finished += rec.completed;
+        if (rec.completed) {
+            EXPECT_GE(rec.chip_id, 0);
+            EXPECT_LT(rec.chip_id, 4);
+        }
+    }
+    EXPECT_EQ(finished, trace.tasks.size());  // no task lost or duplicated
+    EXPECT_EQ(platform.bound_tasks().size(), 0u);
+    EXPECT_GT(result.migrations, 0u);
+    // Benefit-gated cross-chip moves: rare relative to total migrations.
+    EXPECT_LT(static_cast<double>(result.cross_chip_migrations),
+              0.05 * static_cast<double>(result.migrations));
 }
 
 // ---------- the acceptance load sweep ----------
@@ -340,9 +396,9 @@ TEST(ScenarioRunner, LoadSweepCompletesUnderEveryPolicy) {
             [] { return std::make_unique<sched::LinuxPolicy>(); },  // no migration
         };
         for (const auto& make_policy : policies) {
-            uarch::Chip chip(cfg);
+            uarch::Platform platform(cfg);
             auto policy = make_policy();
-            scenario::ScenarioRunner runner(chip, *policy, trace, {.max_quanta = 10'000});
+            scenario::ScenarioRunner runner(platform, *policy, trace, {.max_quanta = 10'000});
             const scenario::ScenarioResult result = runner.run();
             EXPECT_TRUE(result.completed)
                 << spec.name << " under " << result.policy_name;

@@ -1,8 +1,9 @@
-// Tests for the scheduling framework: CoreGroup/CoreAllocation and the
-// PairAllocation converters, the policy interface defaults, the baseline
-// policies, group placement, the thread manager's measurement methodology
-// (targets, relaunch, turnaround, traces, migrations), the SMT-2 golden
-// regression, and SMT-4 task conservation.
+// Tests for the scheduling framework: CoreGroup/CoreAllocation, the policy
+// interface defaults, the baseline policies, group placement, the thread
+// manager's measurement methodology (targets, relaunch, turnaround, traces,
+// migrations), the SMT-1/SMT-2 golden regressions, SMT-4 task conservation,
+// and the multi-chip platform path (topology-aware policies, cross-chip
+// migration penalties).
 #include <gtest/gtest.h>
 
 #include <array>
@@ -13,7 +14,8 @@
 #include "sched/baselines.hpp"
 #include "sched/policy.hpp"
 #include "sched/thread_manager.hpp"
-#include "uarch/chip.hpp"
+#include "sched/topology.hpp"
+#include "uarch/platform.hpp"
 #include "workloads/groups.hpp"
 
 namespace {
@@ -54,24 +56,15 @@ TEST(CoreGroupTest, OccupancyAndMembers) {
     EXPECT_THROW((CoreGroup{1, 2, 3, 4, 5}), std::length_error);
 }
 
-TEST(CoreGroupTest, PairConvertersRoundTrip) {
-    const PairAllocation pairs = {{1, 2}, {3, kNoTask}, {kNoTask, kNoTask}};
-    const CoreAllocation alloc = from_pairs(pairs);
-    ASSERT_EQ(alloc.size(), 3u);
-    EXPECT_EQ(alloc[0], (CoreGroup{1, 2}));
-    EXPECT_EQ(alloc[1], (CoreGroup{3}));
-    EXPECT_TRUE(alloc[2].empty());
-    EXPECT_EQ(to_pairs(alloc), pairs);
-    // Narrowing a wide group loses information and must refuse.
-    EXPECT_THROW(to_pairs({CoreGroup{1, 2, 3}}), std::invalid_argument);
-    // Gap-malformed groups must throw too, never silently drop the task
-    // hiding behind the gap.
-    CoreGroup gapped;
-    gapped.tasks = {5, kNoTask, 9, kNoTask};
-    EXPECT_THROW(to_pairs({gapped}), std::invalid_argument);
-    CoreGroup leading_gap;
-    leading_gap.tasks = {kNoTask, 7, kNoTask, kNoTask};
-    EXPECT_THROW(to_pairs({leading_gap}), std::invalid_argument);
+TEST(CoreGroupTest, GroupsFromPairsSpellsPartialEntries) {
+    // The deprecated PairAllocation alias and its converters are gone; the
+    // pair solvers reach place_groups through groups_from_pairs.
+    const std::vector<CoreGroup> entries =
+        groups_from_pairs({{1, 2}, {3, kNoTask}, {kNoTask, kNoTask}});
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0], (CoreGroup{1, 2}));
+    EXPECT_EQ(entries[1], (CoreGroup{3}));
+    EXPECT_TRUE(entries[2].empty());
 }
 
 // ---------- policy interface defaults ----------
@@ -142,8 +135,8 @@ TEST(Policy, PlaceGroupsHandlesSinglesAndIdleCores) {
     EXPECT_TRUE(a[2].empty());
     EXPECT_THROW(place_groups({CoreGroup{1, 2}, CoreGroup{3}}, obs, 1),
                  std::invalid_argument);
-    // The deprecated pair spelling routes through the same placement.
-    EXPECT_EQ(place_on_cores({{3, kNoTask}, {1, 2}}, obs, 4), a);
+    // The pair spelling routes through the same placement.
+    EXPECT_EQ(place_groups(groups_from_pairs({{3, kNoTask}, {1, 2}}), obs, 4), a);
 }
 
 TEST(Policy, CurrentAllocationReconstruction) {
@@ -265,17 +258,17 @@ std::vector<TaskSpec> small_workload(std::uint64_t target_insts) {
 }
 
 TEST(ThreadManager, RequiresFullChip) {
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     LinuxPolicy policy;
     const std::vector<TaskSpec> three(3);
-    EXPECT_THROW(ThreadManager(chip, policy, three), std::invalid_argument);
+    EXPECT_THROW(ThreadManager(platform, policy, three), std::invalid_argument);
 }
 
 TEST(ThreadManager, RunsToCompletionAndReports) {
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     LinuxPolicy policy;
     const auto specs = small_workload(30'000);
-    ThreadManager manager(chip, policy, specs);
+    ThreadManager manager(platform, policy, specs);
     const RunResult r = manager.run();
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.policy_name, "linux");
@@ -296,9 +289,9 @@ TEST(ThreadManager, RunsToCompletionAndReports) {
 }
 
 TEST(ThreadManager, TracesCoverEveryQuantum) {
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     LinuxPolicy policy;
-    ThreadManager manager(chip, policy, small_workload(20'000),
+    ThreadManager manager(platform, policy, small_workload(20'000),
                           {.max_quanta = 10'000, .record_traces = true});
     const RunResult r = manager.run();
     ASSERT_EQ(r.traces.size(), 4u);
@@ -313,15 +306,15 @@ TEST(ThreadManager, TracesCoverEveryQuantum) {
 }
 
 TEST(ThreadManager, RelaunchKeepsLoadConstant) {
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     LinuxPolicy policy;
     // Very different targets force early finishers to be relaunched.
     std::vector<TaskSpec> specs = small_workload(10'000);
     specs[1].target_insts = 200'000;  // mcf finishes last
-    ThreadManager manager(chip, policy, specs);
+    ThreadManager manager(platform, policy, specs);
     const RunResult r = manager.run();
     EXPECT_TRUE(r.completed);
-    EXPECT_EQ(chip.bound_tasks().size(), 4u);  // still fully loaded at the end
+    EXPECT_EQ(platform.bound_tasks().size(), 4u);  // still fully loaded at the end
     // The slow task defines the turnaround.
     double mcf_finish = 0.0;
     for (const auto& out : r.outcomes)
@@ -330,9 +323,9 @@ TEST(ThreadManager, RelaunchKeepsLoadConstant) {
 }
 
 TEST(ThreadManager, SafetyCapReportsIncomplete) {
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     LinuxPolicy policy;
-    ThreadManager manager(chip, policy, small_workload(100'000'000),
+    ThreadManager manager(platform, policy, small_workload(100'000'000),
                           {.max_quanta = 5, .record_traces = false});
     const RunResult r = manager.run();
     EXPECT_FALSE(r.completed);
@@ -341,27 +334,27 @@ TEST(ThreadManager, SafetyCapReportsIncomplete) {
 
 TEST(ThreadManager, DeterministicAcrossRuns) {
     auto run_once = [] {
-        uarch::Chip chip(manager_config());
+        uarch::Platform platform(manager_config());
         LinuxPolicy policy;
-        ThreadManager manager(chip, policy, small_workload(25'000));
+        ThreadManager manager(platform, policy, small_workload(25'000));
         return manager.run().turnaround_quanta;
     };
     EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
 
 TEST(ThreadManager, RandomPolicyCountsMigrations) {
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     RandomPolicy policy(3);
-    ThreadManager manager(chip, policy, small_workload(25'000));
+    ThreadManager manager(platform, policy, small_workload(25'000));
     const RunResult r = manager.run();
     EXPECT_GT(r.migrations, 0u);
 }
 
 TEST(OraclePolicyTest, ProducesValidAllocationsInManager) {
     workloads::calibrate_suite(manager_config(), 6, 1);
-    uarch::Chip chip(manager_config());
+    uarch::Platform platform(manager_config());
     OraclePolicy policy{model::InterferenceModel::paper_table4()};
-    ThreadManager manager(chip, policy, small_workload(20'000));
+    ThreadManager manager(platform, policy, small_workload(20'000));
     const RunResult r = manager.run();
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.outcomes.size(), 4u);
@@ -374,9 +367,9 @@ namespace {
 using synpa::sched::SamplingPolicy;
 
 TEST(SamplingPolicyTest, ExploresThenSettles) {
-    synpa::uarch::Chip chip(manager_config());
+    synpa::uarch::Platform platform(manager_config());
     SamplingPolicy policy(5, {.explore_quanta = 3, .exploit_quanta = 10});
-    synpa::sched::ThreadManager manager(chip, policy, small_workload(40'000));
+    synpa::sched::ThreadManager manager(platform, policy, small_workload(40'000));
     const synpa::sched::RunResult r = manager.run();
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.policy_name, "sampling");
@@ -388,9 +381,9 @@ TEST(SamplingPolicyTest, ExploresThenSettles) {
 }
 
 TEST(SamplingPolicyTest, ProducesValidAllocationsEveryQuantum) {
-    synpa::uarch::Chip chip(manager_config());
+    synpa::uarch::Platform platform(manager_config());
     SamplingPolicy policy(9);
-    synpa::sched::ThreadManager manager(chip, policy, small_workload(20'000));
+    synpa::sched::ThreadManager manager(platform, policy, small_workload(20'000));
     const synpa::sched::RunResult r = manager.run();
     EXPECT_TRUE(r.completed);  // manager validates every allocation it applies
     ASSERT_EQ(r.outcomes.size(), 4u);
@@ -429,8 +422,8 @@ RunResult golden_run(AllocationPolicy& policy) {
     uarch::SimConfig cfg;
     cfg.cores = 4;
     cfg.cycles_per_quantum = 4'000;
-    uarch::Chip chip(cfg);
-    ThreadManager manager(chip, policy, golden_workload());
+    uarch::Platform platform(cfg);
+    ThreadManager manager(platform, policy, golden_workload());
     return manager.run();
 }
 
@@ -496,8 +489,8 @@ TEST(GoldenSmt2, MigratingSynpaBitIdenticalToPreRedesignEngine) {
     opts.stability_bias = 0.0;
     opts.keep_threshold = 0.0;
     core::SynpaPolicy policy{model::InterferenceModel::paper_table4(), opts};
-    uarch::Chip chip(cfg);
-    ThreadManager manager(chip, policy, specs);
+    uarch::Platform platform(cfg);
+    ThreadManager manager(platform, policy, specs);
     expect_golden(manager.run(),
                   {.turnaround = 35.397286821705428,
                    .quanta = 36,
@@ -533,14 +526,14 @@ TEST(Smt4, ClosedSystemConservesTasksAcrossPolicies) {
     cfg.cycles_per_quantum = 4'000;
 
     const auto run_with = [&](AllocationPolicy& policy) {
-        uarch::Chip chip(cfg);
+        uarch::Platform platform(cfg);
         std::vector<TaskSpec> specs;
         for (const TaskSpec& s : golden_workload()) specs.push_back(s);
-        ThreadManager manager(chip, policy, specs);
+        ThreadManager manager(platform, policy, specs);
         const RunResult r = manager.run();
         EXPECT_TRUE(r.completed) << policy.name();
         EXPECT_EQ(r.outcomes.size(), 8u) << policy.name();
-        EXPECT_EQ(chip.bound_tasks().size(), 8u) << policy.name();  // still full
+        EXPECT_EQ(platform.bound_tasks().size(), 8u) << policy.name();  // still full
         for (const TaskOutcome& out : r.outcomes)
             EXPECT_GT(out.finish_quantum, 0.0) << policy.name();
         return r;
@@ -565,16 +558,53 @@ TEST(Smt1, ClosedSystemRunsWithoutCorunners) {
     cfg.cores = 4;
     cfg.smt_ways = 1;
     cfg.cycles_per_quantum = 4'000;
-    uarch::Chip chip(cfg);
+    uarch::Platform platform(cfg);
     core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
     std::vector<TaskSpec> specs = golden_workload();
     specs.resize(4);  // 4 cores x 1 way
-    ThreadManager manager(chip, policy, specs);
+    ThreadManager manager(platform, policy, specs);
     const RunResult r = manager.run();
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.migrations, 0u);
     for (const auto& trace : r.traces)
         for (const QuantumTrace& t : trace) EXPECT_EQ(t.corunner_slot, -1);
+}
+
+TEST(GoldenSmt1, ClosedRunBitIdenticalAcrossPolicies) {
+    // Width-1 determinism golden: the PR-3 goldens cover widths 2 and 4
+    // only.  With SMT off there is no grouping decision, so linux and synpa
+    // must agree bit-for-bit — and both must stay pinned to the captured
+    // engine values (exact doubles on purpose).
+    uarch::SimConfig cfg;
+    cfg.cores = 4;
+    cfg.smt_ways = 1;
+    cfg.cycles_per_quantum = 4'000;
+    const std::vector<TaskSpec> specs = {
+        {.app_name = "nab_r", .seed = 1, .target_insts = 30'000, .isolated_ipc = 2.0},
+        {.app_name = "mcf", .seed = 2, .target_insts = 30'000, .isolated_ipc = 0.6},
+        {.app_name = "gobmk", .seed = 3, .target_insts = 30'000, .isolated_ipc = 1.0},
+        {.app_name = "bwaves", .seed = 4, .target_insts = 30'000, .isolated_ipc = 1.7},
+    };
+    const std::array<double, 4> want_finish = {3.017916456970307, 9.7104734576757537,
+                                               8.7401021711366536, 3.7727873183619551};
+    const auto run_with = [&](AllocationPolicy& policy) {
+        uarch::Platform platform(cfg);
+        ThreadManager manager(platform, policy, specs);
+        const RunResult r = manager.run();
+        ASSERT_TRUE(r.completed) << policy.name();
+        EXPECT_EQ(r.turnaround_quanta, 9.7104734576757537) << policy.name();
+        EXPECT_EQ(r.quanta_executed, 10u) << policy.name();
+        EXPECT_EQ(r.migrations, 0u) << policy.name();
+        ASSERT_EQ(r.outcomes.size(), 4u) << policy.name();
+        for (const TaskOutcome& out : r.outcomes)
+            EXPECT_EQ(out.finish_quantum,
+                      want_finish[static_cast<std::size_t>(out.slot_index)])
+                << policy.name() << " slot " << out.slot_index;
+    };
+    LinuxPolicy linux_policy;
+    run_with(linux_policy);
+    core::SynpaPolicy synpa_policy{model::InterferenceModel::paper_table4()};
+    run_with(synpa_policy);
 }
 
 TEST(Smt4, SingleThreadKeepsFullRobShare) {
@@ -587,6 +617,156 @@ TEST(Smt4, SingleThreadKeepsFullRobShare) {
     EXPECT_EQ(cfg.rob_share(4), cfg.rob_size / 4);
     cfg.smt_ways = 2;
     EXPECT_EQ(cfg.rob_share(1), cfg.rob_size);
+}
+
+}  // namespace
+
+// ---------- multi-chip platform ----------
+
+namespace {
+
+using namespace synpa;
+using namespace synpa::sched;
+
+TEST(Multichip, ObservedTopologyAndBalancing) {
+    // Four tasks crowded onto chip 0 of a 2-chip/2-core platform: with a
+    // negligible migration penalty the balancer must ship enough of them to
+    // chip 1 to close the gap; with a prohibitive penalty it must not move
+    // anything.
+    std::vector<TaskObservation> obs;
+    for (int t = 1; t <= 4; ++t) {
+        TaskObservation o;
+        o.task_id = t;
+        o.core = (t - 1) / 2;  // chip 0 cores 0 and 1
+        o.chip = 0;
+        o.smt_ways = 2;
+        o.num_chips = 2;
+        o.total_cores = 4;
+        obs.push_back(o);
+    }
+    const TopologyView topo = observed_topology(obs);
+    EXPECT_EQ(topo.chips, 2);
+    EXPECT_EQ(topo.cores_per_chip, 2);
+    EXPECT_EQ(topo.capacity_per_chip(), 4);
+
+    const SoloCost solo = [](std::size_t) { return 1.0; };
+    const PairCost pair = [](std::size_t, std::size_t) { return 3.0; };
+    const std::vector<int> moved = balance_across_chips(obs, topo, solo, pair, 0.01);
+    int on_chip1 = 0;
+    for (const int c : moved) on_chip1 += c == 1;
+    EXPECT_EQ(on_chip1, 2);  // 4/0 balances to 2/2
+
+    const std::vector<int> kept = balance_across_chips(obs, topo, solo, pair, 100.0);
+    for (const int c : kept) EXPECT_EQ(c, 0);  // penalty forbids every move
+}
+
+TEST(Multichip, BalancerLeavesSoloCapableChipAlone) {
+    // Regression: 4 tasks on the 4 cores of chip 0 of a 2-chip platform,
+    // one per core — nobody co-runs, so there is no benefit to shipping
+    // anyone across the socket.  The source-chip cost must count the task
+    // itself as a resident (4 residents on 4 cores = everyone solo), not
+    // price it at a phantom SMT pairing.
+    std::vector<TaskObservation> obs;
+    for (int t = 1; t <= 4; ++t) {
+        TaskObservation o;
+        o.task_id = t;
+        o.core = t - 1;  // chip 0, one task per core
+        o.chip = 0;
+        o.smt_ways = 2;
+        o.num_chips = 2;
+        o.total_cores = 8;
+        obs.push_back(o);
+    }
+    const TopologyView topo = observed_topology(obs);
+    const SoloCost solo = [](std::size_t) { return 1.0; };
+    const PairCost pair = [](std::size_t, std::size_t) { return 3.0; };
+    const std::vector<int> target = balance_across_chips(obs, topo, solo, pair, 0.01);
+    for (const int c : target) EXPECT_EQ(c, 0);  // solo everywhere; no move pays
+}
+
+TEST(Multichip, ClosedSystemConservesTasksAcrossPolicies) {
+    // 2 chips x 2 cores x 2 ways = 8 hardware threads: every policy must
+    // drive the full platform to completion through the chip-qualified
+    // global core ids, and the closed system must keep it saturated.
+    uarch::SimConfig cfg;
+    cfg.num_chips = 2;
+    cfg.cores = 2;
+    cfg.cycles_per_quantum = 4'000;
+
+    const auto run_with = [&](AllocationPolicy& policy) {
+        uarch::Platform platform(cfg);
+        ThreadManager manager(platform, policy, golden_workload());
+        const RunResult r = manager.run();
+        EXPECT_TRUE(r.completed) << policy.name();
+        EXPECT_EQ(r.outcomes.size(), 8u) << policy.name();
+        EXPECT_EQ(platform.bound_tasks().size(), 8u) << policy.name();
+        uarch::validate_platform(platform);
+        return r;
+    };
+
+    LinuxPolicy linux_policy;
+    const RunResult linux_run = run_with(linux_policy);
+    EXPECT_EQ(linux_run.migrations, 0u);
+    EXPECT_EQ(linux_run.cross_chip_migrations, 0u);
+
+    RandomPolicy random_policy(5);
+    const RunResult random_run = run_with(random_policy);
+    EXPECT_GT(random_run.migrations, 0u);
+    // Random shuffles the whole global core space, so some of its churn
+    // crosses the chip boundary and pays the big penalty.
+    EXPECT_GT(random_run.cross_chip_migrations, 0u);
+
+    core::SynpaPolicy synpa_policy{model::InterferenceModel::paper_table4()};
+    const RunResult synpa_run = run_with(synpa_policy);
+    // The topology-aware decomposition keeps a balanced closed system's
+    // regrouping within chips: informed migrations never pay cross-chip.
+    EXPECT_EQ(synpa_run.cross_chip_migrations, 0u);
+}
+
+TEST(Multichip, CrossChipRebindDegradesIpcForConfiguredQuanta) {
+    // The acceptance contract of the migration-cost model: after a
+    // cross-chip rebind the task runs visibly slower for about
+    // cross_chip_warmup_quanta quanta, then recovers; a same-chip rebind
+    // of the control task costs (much) less.
+    uarch::SimConfig cfg;
+    cfg.num_chips = 2;
+    cfg.cores = 2;
+    cfg.cycles_per_quantum = 4'000;
+    cfg.cross_chip_warmup_quanta = 2;
+    cfg.cross_chip_miss_multiplier = 3.0;
+    uarch::Platform platform(cfg);
+
+    apps::AppInstance task(1, apps::find_app("mcf"), 7);
+    platform.bind(task, {.core = 0, .slot = 0});
+    const auto ipc_of_quantum = [&] {
+        const std::uint64_t before = task.insts_retired();
+        platform.run_quantum();
+        return static_cast<double>(task.insts_retired() - before) /
+               static_cast<double>(cfg.cycles_per_quantum);
+    };
+    double warm_ipc = 0.0;
+    for (int q = 0; q < 6; ++q) warm_ipc = ipc_of_quantum();  // settle
+
+    platform.unbind(1);
+    platform.bind(task, {.core = 2, .slot = 0});  // chip 0 -> chip 1
+    EXPECT_EQ(platform.cross_chip_migrations(), 1u);
+    EXPECT_DOUBLE_EQ(task.warmup_multiplier(), 3.0);  // cold at peak
+
+    // Regression: a cheap same-chip core move must not truncate the live
+    // cross-chip window (caches are no warmer for having moved again).
+    platform.unbind(1);
+    platform.bind(task, {.core = 3, .slot = 0});  // another core of chip 1
+    EXPECT_EQ(platform.cross_chip_migrations(), 1u);  // still only one
+    EXPECT_DOUBLE_EQ(task.warmup_multiplier(), 3.0);  // window kept
+
+    const double cold_ipc = ipc_of_quantum();
+    EXPECT_LT(cold_ipc, 0.9 * warm_ipc);  // visibly degraded
+    double recovered = 0.0;
+    for (int q = 0; q < 6; ++q) recovered = ipc_of_quantum();
+    EXPECT_DOUBLE_EQ(task.warmup_multiplier(), 1.0);  // window over
+    EXPECT_GT(recovered, cold_ipc);
+
+    platform.unbind(1);
 }
 
 }  // namespace

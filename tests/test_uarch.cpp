@@ -11,6 +11,7 @@
 #include "uarch/cache.hpp"
 #include "uarch/chip.hpp"
 #include "uarch/memory.hpp"
+#include "uarch/platform.hpp"
 #include "uarch/sim_config.hpp"
 
 namespace {
@@ -300,6 +301,112 @@ TEST(Chip, QuantaAndCyclesAdvance) {
 TEST(Chip, TaskCountersThrowOnUnknown) {
     Chip chip(small_config());
     EXPECT_THROW(chip.task_counters(3), std::logic_error);
+}
+
+}  // namespace
+
+// ---------- platform (multi-chip) ----------
+
+namespace {
+
+using synpa::uarch::Platform;
+using synpa::uarch::validate_platform;
+
+synpa::uarch::SimConfig platform_config(int chips, int cores = 2, int ways = 2) {
+    synpa::uarch::SimConfig cfg;
+    cfg.num_chips = chips;
+    cfg.cores = cores;
+    cfg.smt_ways = ways;
+    cfg.cycles_per_quantum = 2'000;
+    return cfg;
+}
+
+TEST(PlatformTest, GlobalCoreIdsMapChipMajor) {
+    const Platform platform(platform_config(3, 4));
+    EXPECT_EQ(platform.chip_count(), 3);
+    EXPECT_EQ(platform.cores_per_chip(), 4);
+    EXPECT_EQ(platform.core_count(), 12);
+    EXPECT_EQ(platform.hw_contexts(), 24);
+    EXPECT_EQ(platform.chip_of_core(0), 0);
+    EXPECT_EQ(platform.chip_of_core(3), 0);
+    EXPECT_EQ(platform.chip_of_core(4), 1);
+    EXPECT_EQ(platform.chip_of_core(11), 2);
+    EXPECT_EQ(platform.local_core(11), 3);
+}
+
+TEST(PlatformTest, BindPlacementAndValidationSpanChips) {
+    Platform platform(platform_config(2));
+    synpa::apps::AppInstance a(1, synpa::apps::find_app("mcf"), 1);
+    synpa::apps::AppInstance b(2, synpa::apps::find_app("gobmk"), 2);
+    platform.bind(a, {.core = 1, .slot = 0});   // chip 0
+    platform.bind(b, {.core = 3, .slot = 1});   // chip 1
+    validate_platform(platform);
+    EXPECT_EQ(platform.placement(1).core, 1);
+    EXPECT_EQ(platform.placement(2).core, 3);
+    EXPECT_EQ(platform.bound_tasks().size(), 2u);
+    EXPECT_TRUE(platform.chip(0).is_bound(1));
+    EXPECT_TRUE(platform.chip(1).is_bound(2));
+    EXPECT_THROW(platform.bind(a, {.core = 0, .slot = 0}), std::logic_error);
+    synpa::apps::AppInstance c(3, synpa::apps::find_app("nab_r"), 3);
+    EXPECT_THROW(platform.bind(c, {.core = 4, .slot = 0}), std::out_of_range);
+    platform.unbind(1);
+    platform.unbind(2);
+    EXPECT_THROW(platform.placement(1), std::logic_error);
+    EXPECT_EQ(platform.bound_tasks().size(), 0u);
+}
+
+TEST(PlatformTest, SingleChipMatchesDirectChipBitForBit) {
+    // The whole refactor rests on this: a 1-chip platform must reproduce a
+    // direct Chip run exactly (same counters after the same quanta).
+    const synpa::uarch::SimConfig cfg = platform_config(1);
+    synpa::uarch::Chip chip(cfg);
+    Platform platform(cfg);
+    synpa::apps::AppInstance t_chip(1, synpa::apps::find_app("mcf"), 9);
+    synpa::apps::AppInstance t_plat(1, synpa::apps::find_app("mcf"), 9);
+    chip.bind(t_chip, {.core = 0, .slot = 0});
+    platform.bind(t_plat, {.core = 0, .slot = 0});
+    for (int q = 0; q < 5; ++q) {
+        chip.run_quantum();
+        platform.run_quantum();
+    }
+    EXPECT_EQ(t_chip.insts_retired(), t_plat.insts_retired());
+    EXPECT_EQ(platform.quanta_elapsed(), chip.quanta_elapsed());
+    EXPECT_EQ(platform.now(), chip.now());
+    EXPECT_EQ(platform.cross_chip_migrations(), 0u);
+}
+
+TEST(PlatformTest, ChipsHavePrivateLlcAndDram) {
+    // A memory hog on chip 0 must not slow a co-resident of chip 1: each
+    // chip owns its LLC and DRAM channel, so cross-chip isolation holds.
+    const auto run_partnered = [](bool same_chip) {
+        Platform platform(platform_config(2, 1, 2));  // 2 chips x 1 core
+        synpa::apps::AppInstance victim(1, synpa::apps::find_app("leela_r"), 5);
+        synpa::apps::AppInstance hog(2, synpa::apps::find_app("lbm_r"), 6);
+        platform.bind(victim, {.core = 0, .slot = 0});
+        platform.bind(hog, {.core = same_chip ? 0 : 1, .slot = same_chip ? 1 : 0});
+        for (int q = 0; q < 8; ++q) platform.run_quantum();
+        return victim.insts_retired();
+    };
+    EXPECT_GT(run_partnered(/*same_chip=*/false), run_partnered(/*same_chip=*/true));
+}
+
+TEST(PlatformTest, IntraChipMoveCostsLessThanCrossChipMove) {
+    const auto progress_after_move = [](int to_core) {
+        Platform platform(platform_config(2, 2, 2));
+        synpa::apps::AppInstance t(1, synpa::apps::find_app("mcf"), 11);
+        platform.bind(t, {.core = 0, .slot = 0});
+        for (int q = 0; q < 6; ++q) platform.run_quantum();  // warm up
+        platform.unbind(1);
+        platform.bind(t, {.core = to_core, .slot = 0});
+        const std::uint64_t before = t.insts_retired();
+        for (int q = 0; q < 2; ++q) platform.run_quantum();
+        return t.insts_retired() - before;
+    };
+    const std::uint64_t stay = progress_after_move(0);        // no move
+    const std::uint64_t intra = progress_after_move(1);       // same chip
+    const std::uint64_t cross = progress_after_move(2);       // other chip
+    EXPECT_LE(intra, stay);
+    EXPECT_LT(cross, intra);  // the cross-chip window is the expensive one
 }
 
 }  // namespace
