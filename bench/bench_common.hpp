@@ -51,17 +51,11 @@ inline model::TrainerOptions default_trainer(const workloads::MethodologyOptions
     return topts;
 }
 
-/// The linux and synpa policy columns used throughout the evaluation.
-inline exp::PolicySpec linux_policy() {
-    return {"linux", [](const exp::ArtifactSet&, std::uint64_t) {
-                return std::make_unique<sched::LinuxPolicy>();
-            }};
-}
-inline exp::PolicySpec synpa_policy() {
-    return {"synpa", [](const exp::ArtifactSet& artifacts, std::uint64_t) {
-                return std::make_unique<core::SynpaPolicy>(artifacts.training->model);
-            }};
-}
+/// The linux and synpa policy columns used throughout the evaluation —
+/// registry-built, so every bench resolves them exactly like a `policy=`
+/// axis does (sched/registry.hpp).
+inline exp::PolicySpec linux_policy() { return exp::registry_policy("linux"); }
+inline exp::PolicySpec synpa_policy() { return exp::registry_policy("synpa"); }
 
 /// The evaluation grid behind Figures 5, 8 and 9: the paper's twenty
 /// workloads under {linux, synpa}, with the trained model and suite

@@ -1,0 +1,176 @@
+// Online-adaptation load sweep: the phase-adaptive SYNPA acceptance bench.
+//
+// The scenario is deliberately hostile to a frozen model: the app mix is
+// the suite's multi-phase applications (they alternate frontend- and
+// backend-bound behaviour mid-run every few hundred kinsts), while the
+// offline model is trained on a small, poorly matched training set — the
+// "trained last quarter, deployed on today's traffic" situation the
+// paper's runtime premise warns about.  Both SYNPA columns start from that
+// same weak model; the adaptive one additionally runs the online loop
+// (CUSUM phase detection -> estimate resets, solo-reference harvesting ->
+// incremental refits), so any gap on mean slowdown is attributable to
+// adaptation alone.
+//
+// Expected: synpa-adaptive <= synpa (frozen) on pooled mean slowdown
+// across the sweep; the bench prints a PASS/FAIL verdict and (by default)
+// returns nonzero on FAIL.
+//
+// The sweep spans the *contended* regime (default loads 0.7-1.0): below
+// ~0.6 most tasks get a core of their own, so there is no grouping
+// decision for a better model to improve — only placement churn to risk.
+//
+// Knobs: SYNPA_ONLINE_LOADS (comma list, default "0.7,0.85,1.0"),
+// SYNPA_ONLINE_TRAIN_APPS (comma list, default a weak 3-app set),
+// SYNPA_ONLINE_* (detector/refit knobs, see docs/REFERENCE.md),
+// SYNPA_SCENARIO_SERVICE_QUANTA / SYNPA_SCENARIO_HORIZON,
+// SYNPA_BENCH_STRICT (0 disables the nonzero exit on FAIL; CI smoke uses
+// it at reduced scale), plus the usual SYNPA_BENCH_* scales.
+// SYNPA_BENCH_CSV exports the per-cell summary rows (note the trailing
+// `adaptive` column).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/spec_suite.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "exp/scenario_grid.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& raw) {
+    std::vector<std::string> out;
+    std::stringstream ss(raw);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty()) out.push_back(item);
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace synpa;
+    bench::print_header("Online adaptation sweep",
+                        "Phase-switching open system: adaptive vs frozen-model SYNPA");
+
+    const uarch::SimConfig cfg = uarch::SimConfig::from_env();
+    const workloads::MethodologyOptions opts = bench::default_methodology();
+    const auto service_quanta =
+        static_cast<std::uint64_t>(common::env_int("SYNPA_SCENARIO_SERVICE_QUANTA", 30));
+    const auto horizon =
+        static_cast<std::uint64_t>(common::env_int("SYNPA_SCENARIO_HORIZON", 150));
+    const double capacity = static_cast<double>(cfg.num_chips) *
+                            static_cast<double>(cfg.cores) *
+                            static_cast<double>(cfg.smt_ways);
+
+    // Every multi-phase suite application — tasks that *will* cross phase
+    // boundaries mid-run — plus mcf as a stable backend-bound anchor.
+    std::vector<std::string> mix;
+    for (const apps::AppProfile& app : apps::spec_suite())
+        if (app.phase_count() > 1) mix.push_back(app.name);
+    mix.push_back("mcf");
+
+    // A weak offline model: three behaviourally narrow training apps that
+    // span neither the mix's backend pressure nor its phase alternation.
+    const std::vector<std::string> train_apps = split_list(
+        common::env_string("SYNPA_ONLINE_TRAIN_APPS", "nab_r,exchange2_r,povray_r"));
+
+    exp::ScenarioCampaign campaign;
+    campaign.name = "online-adaptation";
+    campaign.configs = {cfg};
+    for (const double load :
+         [] {
+             std::vector<double> loads;
+             for (const std::string& s :
+                  split_list(common::env_string("SYNPA_ONLINE_LOADS", "0.7,0.85,1.0")))
+                 loads.push_back(std::stod(s));
+             return loads;
+         }()) {
+        scenario::ScenarioSpec spec;
+        spec.name = "load-" + common::format_double(load, 3);
+        spec.process = scenario::ArrivalProcess::kPoisson;
+        spec.app_mix = mix;
+        spec.service_quanta = service_quanta;
+        spec.horizon_quanta = horizon;
+        spec.seed = opts.seed;
+        spec.arrival_rate = load * capacity / static_cast<double>(service_quanta);
+        spec.initial_tasks =
+            static_cast<std::uint64_t>(std::min(load * capacity, capacity));
+        campaign.scenarios.push_back(std::move(spec));
+    }
+    campaign.policy_names = {"synpa", "synpa-adaptive"};
+    campaign.reps = opts.reps;
+    campaign.needs_training = true;
+    campaign.trainer = bench::default_trainer(opts);
+    campaign.training_apps = train_apps;
+
+    std::cout << "mix: " << mix.size() << " apps (" << (mix.size() - 1)
+              << " multi-phase); weak model trained on " << train_apps.size()
+              << " apps; grid: " << campaign.scenarios.size() << " loads x "
+              << campaign.policy_names.size() << " policies x " << campaign.reps
+              << " reps...\n\n";
+
+    std::unique_ptr<std::ofstream> csv_stream;
+    std::unique_ptr<exp::ScenarioCsvAggregator> csv;
+    std::vector<exp::ScenarioAggregator*> aggregators;
+    const std::string csv_path = common::env_string("SYNPA_BENCH_CSV", "");
+    if (!csv_path.empty()) {
+        csv_stream = std::make_unique<std::ofstream>(csv_path);
+        if (csv_stream->is_open()) {
+            csv = std::make_unique<exp::ScenarioCsvAggregator>(*csv_stream);
+            aggregators.push_back(csv.get());
+        } else {
+            std::cerr << "warning: cannot open export file '" << csv_path
+                      << "' — skipping\n";
+        }
+    }
+
+    exp::ScenarioGridRunner runner({.threads = opts.threads});
+    const exp::ScenarioGridResult result = runner.run(campaign, aggregators);
+
+    common::Table table({"load", "policy", "done", "slowdown", "mean TT", "p95 TT",
+                         "util", "migr/q", "alarms/run", "refits/run"});
+    double frozen_sum = 0.0, adaptive_sum = 0.0;
+    double frozen_weight = 0.0, adaptive_weight = 0.0;
+    for (const auto& cell : result.cells) {
+        const auto& s = cell.summary;
+        const auto w = static_cast<double>(s.completed_tasks);
+        if (cell.adaptive) {
+            adaptive_sum += s.mean_slowdown * w;
+            adaptive_weight += w;
+        } else {
+            frozen_sum += s.mean_slowdown * w;
+            frozen_weight += w;
+        }
+        table.row()
+            .add(cell.scenario)
+            .add(cell.policy)
+            .add(std::to_string(s.completed_tasks) + "/" + std::to_string(s.planned_tasks))
+            .add(s.mean_slowdown, 3)
+            .add(s.mean_turnaround, 1)
+            .add(s.p95_turnaround, 1)
+            .add(s.mean_utilization, 2)
+            .add(s.migrations_per_quantum, 2)
+            .add(s.phase_changes_per_run, 1)
+            .add(s.model_refits_per_run, 1);
+    }
+    table.print(std::cout);
+
+    const double frozen_mean = frozen_weight > 0 ? frozen_sum / frozen_weight : 0.0;
+    const double adaptive_mean =
+        adaptive_weight > 0 ? adaptive_sum / adaptive_weight : 0.0;
+    const bool pass = adaptive_mean <= frozen_mean;
+    std::cout << "\npooled mean slowdown: frozen "
+              << common::format_double(frozen_mean, 4) << " vs adaptive "
+              << common::format_double(adaptive_mean, 4) << "  ->  "
+              << (pass ? "PASS" : "FAIL")
+              << " (adaptive must be <= frozen)\nwall " << result.wall_seconds << " s\n";
+    const bool strict = common::env_int("SYNPA_BENCH_STRICT", 1) != 0;
+    return pass || !strict ? 0 : 1;
+}

@@ -10,8 +10,10 @@
 // utilization, and migrations per quantum.
 //
 // Knobs: SYNPA_SCENARIO_LOADS (comma list, default "0.5,0.75,0.875,1.0,1.25"),
-// SYNPA_SCENARIO_SERVICE_QUANTA, SYNPA_SCENARIO_HORIZON, plus the usual
-// SYNPA_BENCH_* scales.  SYNPA_BENCH_CSV exports the per-cell summary rows.
+// SYNPA_SCENARIO_POLICIES (registered policy names, default
+// "linux,random,synpa"), SYNPA_SCENARIO_SERVICE_QUANTA,
+// SYNPA_SCENARIO_HORIZON, plus the usual SYNPA_BENCH_* scales.
+// SYNPA_BENCH_CSV exports the per-cell summary rows.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -75,26 +77,22 @@ int main() {
             std::min(load * capacity, capacity));  // start near steady state
         campaign.scenarios.push_back(std::move(spec));
     }
-    campaign.policies = {
-        {"no-migration",
-         [](const exp::ArtifactSet&, std::uint64_t) {
-             return std::make_unique<sched::LinuxPolicy>();
-         }},
-        {"random",
-         [](const exp::ArtifactSet&, std::uint64_t rep_seed) {
-             return std::make_unique<sched::RandomPolicy>(rep_seed);
-         }},
-        {"synpa",
-         [](const exp::ArtifactSet& artifacts, std::uint64_t) {
-             return std::make_unique<core::SynpaPolicy>(artifacts.training->model);
-         }},
-    };
+    // The `policy=` axis: registered names, overridable without recompiling
+    // (e.g. SYNPA_SCENARIO_POLICIES="linux,synpa,synpa-fair,synpa-adaptive").
+    {
+        const std::string raw =
+            common::env_string("SYNPA_SCENARIO_POLICIES", "linux,random,synpa");
+        std::stringstream ss(raw);
+        std::string name;
+        while (std::getline(ss, name, ','))
+            if (!name.empty()) campaign.policy_names.push_back(name);
+    }
     campaign.reps = opts.reps;
     campaign.needs_training = true;
     campaign.trainer = bench::default_trainer(opts);
 
     std::cout << "grid: " << campaign.scenarios.size() << " load levels x "
-              << campaign.policies.size() << " policies x " << campaign.reps
+              << campaign.policy_names.size() << " policies x " << campaign.reps
               << " reps (training memoized)...\n\n";
 
     std::unique_ptr<std::ofstream> csv_stream;
@@ -133,8 +131,8 @@ int main() {
     }
     table.print(std::cout);
     std::cout << "\nexpected: synpa's informed (partial) pairing beats random churn at\n"
-                 "every load; gains over no-migration grow with load until the chip\n"
-                 "saturates, where queueing dominates.  wall " << result.wall_seconds
-              << " s\n";
+                 "every load; gains over the linux (no-migration) baseline grow with\n"
+                 "load until the chip saturates, where queueing dominates.  wall "
+              << result.wall_seconds << " s\n";
     return 0;
 }

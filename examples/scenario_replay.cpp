@@ -1,8 +1,9 @@
 // scenario_replay — watch SYNPA ride a bursty open system:
 //   1. build a burst-arrival scenario (waves of tasks every 40 quanta, with
 //      a mid-run load surge),
-//   2. run it under the SYNPA policy (paper Table IV coefficients, so no
-//      training wait) on a 4-core SMT2 chip,
+//   2. run it under a policy picked *by name* from the registry
+//      (SYNPA_REPLAY_POLICY, default "synpa"; paper Table IV coefficients,
+//      so no training wait) on a 4-core SMT2 chip,
 //   3. replay the run as a per-quantum timeline — utilization bars,
 //      arrivals, departures, migrations — then print the per-task ledger.
 //
@@ -11,10 +12,13 @@
 #include <iostream>
 #include <string>
 
+#include <memory>
+
+#include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/synpa_policy.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "sched/registry.hpp"
 #include "uarch/platform.hpp"
 
 int main() {
@@ -42,11 +46,18 @@ int main() {
     std::cout << trace.tasks.size() << " tasks planned over " << spec.horizon_quanta
               << " quanta\n\n";
 
-    // 2. Run it under SYNPA.  The partial-allocation path kicks in whenever
-    //    the live set is not exactly 2 x cores.
+    // 2. Run it under the chosen registered policy.  The partial-allocation
+    //    path kicks in whenever the live set is not exactly 2 x cores.
     uarch::Platform platform(cfg);
-    core::SynpaPolicy policy{model::InterferenceModel::paper_table4()};
-    scenario::ScenarioRunner runner(platform, policy, trace);
+    const std::string policy_name = common::env_string("SYNPA_REPLAY_POLICY", "synpa");
+    sched::PolicyConfig policy_config;
+    policy_config.model = std::make_shared<const model::InterferenceModel>(
+        model::InterferenceModel::paper_table4());
+    const std::unique_ptr<sched::AllocationPolicy> policy =
+        sched::make_policy(policy_name, policy_config);
+    std::cout << "policy: " << policy->name() << " (registry \"" << policy_name
+              << "\")\n";
+    scenario::ScenarioRunner runner(platform, *policy, trace);
     const scenario::ScenarioResult result = runner.run();
 
     // 3. Replay: one line every few quanta.

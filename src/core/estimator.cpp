@@ -86,6 +86,13 @@ double SynpaEstimator::group_weight(std::span<const int> task_ids) const {
     return model::predict_group_slowdown(model_, members);
 }
 
+std::vector<double> SynpaEstimator::member_slowdowns(std::span<const int> task_ids) const {
+    std::vector<model::CategoryVector> members;
+    members.reserve(task_ids.size());
+    for (int id : task_ids) members.push_back(estimate(id));
+    return model::predict_member_slowdowns(model_, members);
+}
+
 void SynpaEstimator::forget(int task_id) { estimates_.erase(task_id); }
 
 void SynpaEstimator::transfer(int old_task_id, int new_task_id) {

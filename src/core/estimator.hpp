@@ -64,6 +64,13 @@ public:
     /// solo_weight (the follow-up paper's pairwise-built group predictor).
     double group_weight(std::span<const int> task_ids) const;
 
+    /// The per-member addends of group_weight: each member's predicted
+    /// slowdown against the superposed pressure of the rest of the group (a
+    /// singleton returns its solo term).  The objective-parameterized
+    /// policies (STP, fairness, tail) fold these nonlinearly instead of
+    /// summing them.
+    std::vector<double> member_slowdowns(std::span<const int> task_ids) const;
+
     /// Transfers the estimate across a relaunch (same application, so the
     /// behaviour estimate remains the best prior available).
     void transfer(int old_task_id, int new_task_id);
@@ -72,6 +79,11 @@ public:
     void forget(int task_id);
 
     const model::InterferenceModel& model() const noexcept { return model_; }
+
+    /// Swaps the interference model while keeping every per-task estimate —
+    /// the online incremental-retraining hook.  The next observe() inverts
+    /// against the new coefficients.
+    void set_model(model::InterferenceModel model) { model_ = std::move(model); }
 
 private:
     model::InterferenceModel model_;

@@ -1,6 +1,8 @@
 #include "core/synpa_policy.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string>
 #include <vector>
 
 #include <unordered_map>
@@ -65,16 +67,76 @@ public:
 
 }  // namespace
 
+const char* objective_name(Objective objective) noexcept {
+    switch (objective) {
+        case Objective::kTotalSlowdown: return "total";
+        case Objective::kThroughput: return "stp";
+        case Objective::kFairness: return "fair";
+        case Objective::kTail: return "tail";
+    }
+    return "total";
+}
+
+double objective_cost(Objective objective, std::span<const double> member_slowdowns) noexcept {
+    double cost = 0.0;
+    for (const double raw : member_slowdowns) {
+        // Predicted slowdowns below 1 are estimator noise (co-running
+        // cannot speed a task up); clamping to 1 keeps the nonlinear
+        // objectives from rewarding garbage predictions — without it a
+        // mispredicted s = 0.1 contributes 1 - 1/s = -9 to the STP cost
+        // and near-zero to the power objectives, locking the matcher onto
+        // exactly the pairs the model understands least.
+        const double s = std::max(raw, 1.0);
+        switch (objective) {
+            case Objective::kTotalSlowdown: cost += s; break;
+            case Objective::kThroughput: cost += 1.0 - 1.0 / s; break;
+            case Objective::kFairness: cost += s * s * s * s; break;
+            case Objective::kTail: cost += s * s; break;
+        }
+    }
+    return cost;
+}
+
 SynpaPolicy::SynpaPolicy(model::InterferenceModel model, Options opts)
     : model_(model), opts_(opts), estimator_(model_, opts.estimator) {}
 
 std::string SynpaPolicy::name() const {
+    std::string base = "synpa";
     switch (opts_.selector) {
-        case PairSelector::kBlossom: return "synpa";
-        case PairSelector::kSubsetDp: return "synpa-dp";
-        case PairSelector::kGreedy: return "synpa-greedy";
+        case PairSelector::kBlossom: break;
+        case PairSelector::kSubsetDp: base += "-dp"; break;
+        case PairSelector::kGreedy: base += "-greedy"; break;
     }
-    return "synpa";
+    if (opts_.objective != Objective::kTotalSlowdown)
+        base += std::string("-") + objective_name(opts_.objective);
+    return base;
+}
+
+void SynpaPolicy::set_model(model::InterferenceModel model) {
+    model_ = model;
+    estimator_.set_model(std::move(model));
+}
+
+void SynpaPolicy::reset_estimate(int task_id) { estimator_.forget(task_id); }
+
+double SynpaPolicy::pair_cost(int task_u, int task_v) const {
+    if (opts_.objective == Objective::kTotalSlowdown)
+        return estimator_.pair_weight(task_u, task_v);
+    const std::array<int, 2> ids = {task_u, task_v};
+    return objective_cost(opts_.objective, estimator_.member_slowdowns(ids));
+}
+
+double SynpaPolicy::solo_cost(int task_id) const {
+    if (opts_.objective == Objective::kTotalSlowdown)
+        return estimator_.solo_weight(task_id);
+    const std::array<int, 1> ids = {task_id};
+    return objective_cost(opts_.objective, estimator_.member_slowdowns(ids));
+}
+
+double SynpaPolicy::group_cost(std::span<const int> task_ids) const {
+    if (opts_.objective == Objective::kTotalSlowdown)
+        return estimator_.group_weight(task_ids);
+    return objective_cost(opts_.objective, estimator_.member_slowdowns(task_ids));
 }
 
 const matching::Matcher& SynpaPolicy::matcher() const {
@@ -99,7 +161,7 @@ std::vector<std::vector<int>> SynpaPolicy::select_groups(std::span<const int> ta
         std::vector<int> ids;
         ids.reserve(group.size());
         for (const int i : group) ids.push_back(task_ids[static_cast<std::size_t>(i)]);
-        return estimator_.group_weight(ids);
+        return group_cost(ids);
     };
     const matching::GroupingResult sel =
         matching::min_weight_grouping(task_ids.size(), cores, width, cost);
@@ -121,10 +183,10 @@ sched::CoreAllocation SynpaPolicy::reallocate(
     // chip (interference never crosses a chip boundary; each chip has its
     // own LLC and DRAM channel).
     const sched::SoloCost solo = [&](std::size_t i) {
-        return estimator_.solo_weight(observations[i].task_id);
+        return solo_cost(observations[i].task_id);
     };
     const sched::PairCost pair = [&](std::size_t u, std::size_t v) {
-        return estimator_.pair_weight(observations[u].task_id, observations[v].task_id);
+        return pair_cost(observations[u].task_id, observations[v].task_id);
     };
     return sched::allocate_across_chips(
         observations, topo, solo, pair, opts_.cross_chip_penalty,
@@ -174,8 +236,8 @@ sched::CoreAllocation SynpaPolicy::allocate_chip(
     matching::WeightMatrix weights(n);
     for (std::size_t u = 0; u < n; ++u)
         for (std::size_t v = u + 1; v < n; ++v)
-            weights.set(u, v, estimator_.pair_weight(observations[u].task_id,
-                                                     observations[v].task_id));
+            weights.set(u, v, pair_cost(observations[u].task_id,
+                                        observations[v].task_id));
 
     // Partial load (open system, N != 2 * cores): Step 3 becomes an
     // imperfect matching — the padded solver weighs every candidate pair's
@@ -186,7 +248,7 @@ sched::CoreAllocation SynpaPolicy::allocate_chip(
     if (n != 2 * total_cores) {
         std::vector<double> solo(n);
         for (std::size_t i = 0; i < n; ++i)
-            solo[i] = estimator_.solo_weight(observations[i].task_id);
+            solo[i] = solo_cost(observations[i].task_id);
         // The dummy-node reduction needs an exact solver (see matching.hpp);
         // the greedy ablation falls back to Blossom under partial load.
         const matching::Matcher& exact =

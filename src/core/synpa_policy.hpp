@@ -33,10 +33,34 @@ enum class PairSelector {
     kGreedy,    ///< best-first greedy (ablation: cheaper, possibly worse)
 };
 
+/// Allocation objective (the follow-up "New Family of Thread to Core
+/// Allocation Policies" direction): how a candidate group's per-member
+/// predicted slowdowns fold into the cost Step 3 minimizes.  Every variant
+/// shares the SYNPA estimator — they differ only in this folding.
+enum class Objective {
+    kTotalSlowdown,  ///< the paper's SYNPA: minimize the summed slowdowns
+    kThroughput,     ///< STP: minimize summed throughput loss (1 - 1/s)
+    kFairness,       ///< minimize the worst member (soft-max: sum of s^4)
+    kTail,           ///< turnaround tail: sum of s^2 (penalize stragglers)
+};
+
+/// Short name used in policy labels ("total", "stp", "fair", "tail").
+const char* objective_name(Objective objective) noexcept;
+
+/// Folds per-member predicted slowdowns into one group cost under the given
+/// objective.  kTotalSlowdown is the plain sum (identical to the
+/// estimator's group_weight); the others are monotone but nonlinear, so
+/// they trade total progress against the worst-off members differently.
+double objective_cost(Objective objective, std::span<const double> member_slowdowns) noexcept;
+
 class SynpaPolicy final : public sched::AllocationPolicy {
 public:
     struct Options {
         PairSelector selector = PairSelector::kBlossom;
+        /// What Step 3 optimizes.  kTotalSlowdown reproduces the paper's
+        /// SYNPA exactly (bit-identical goldens); the other objectives are
+        /// the family-paper variants sharing the same estimator.
+        Objective objective = Objective::kTotalSlowdown;
         SynpaEstimator::Options estimator{};
         /// Hysteresis (see matching::stabilized_min_weight): prediction
         /// noise creates near-tie matchings, and oscillating between them
@@ -63,6 +87,15 @@ public:
 
     const SynpaEstimator& estimator() const noexcept { return estimator_; }
 
+    /// Swaps the interference model mid-run while keeping every per-task
+    /// estimate — the hook online::AdaptiveSynpaPolicy uses to fold
+    /// incremental retraining results back in.
+    void set_model(model::InterferenceModel model);
+
+    /// Drops one task's isolated estimate so the next quantum re-seeds it
+    /// from a fresh inversion (phase-change reaction).
+    void reset_estimate(int task_id);
+
     /// Step 2+3 on an explicit weight matrix (exposed for tests/benches).
     std::vector<std::pair<int, int>> select_pairs(const matching::WeightMatrix& weights) const;
 
@@ -81,6 +114,12 @@ private:
     sched::CoreAllocation allocate_chip(
         std::span<const sched::TaskObservation> observations);
 
+    /// Objective-folded candidate costs.  Under kTotalSlowdown these are
+    /// exactly the estimator's pair/solo/group weights (the bit-exact
+    /// golden path); other objectives fold the per-member slowdowns.
+    double pair_cost(int task_u, int task_v) const;
+    double solo_cost(int task_id) const;
+    double group_cost(std::span<const int> task_ids) const;
 
     model::InterferenceModel model_;
     Options opts_;

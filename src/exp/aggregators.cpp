@@ -76,14 +76,14 @@ CsvAggregator::CsvAggregator(std::ostream& os) : os_(os) {}
 
 void CsvAggregator::on_cell(const CellResult& cell) {
     if (!header_written_) {
-        os_ << "config,chips,cores,smt_ways,workload,policy,turnaround_quanta,fairness,"
-               "ipc_geomean,antt,reps_kept,turnaround_samples\n";
+        os_ << "config,chips,cores,smt_ways,workload,policy,adaptive,turnaround_quanta,"
+               "fairness,ipc_geomean,antt,reps_kept,turnaround_samples\n";
         header_written_ = true;
     }
     const auto& m = cell.result.mean_metrics;
     os_ << cell.config_index << ',' << cell.chips << ',' << cell.cores << ','
         << cell.smt_ways << ',' << cell.workload << ',' << cell.policy << ','
-        << m.turnaround_quanta << ','
+        << (cell.adaptive ? 1 : 0) << ',' << m.turnaround_quanta << ','
         << m.fairness << ',' << m.ipc_geomean << ',' << m.antt << ','
         << cell.result.turnaround_samples.size() << ','
         << joined_samples(cell.result.turnaround_samples, ';') << '\n';

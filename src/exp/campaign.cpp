@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "metrics/metrics.hpp"
+#include "sched/registry.hpp"
 #include "workloads/groups.hpp"
 
 namespace synpa::exp {
@@ -62,7 +63,37 @@ PolicySpec policy(std::string label, workloads::PolicyFactory factory) {
     return {std::move(label),
             [factory = std::move(factory)](const ArtifactSet&, std::uint64_t rep_seed) {
                 return factory(rep_seed);
-            }};
+            },
+            /*adaptive=*/false};
+}
+
+PolicySpec registry_policy(std::string name) {
+    const sched::PolicyInfo* info = sched::find_policy(name);
+    if (info == nullptr)
+        throw std::invalid_argument("registry_policy: unknown policy '" + name +
+                                    "' (see sched::registered_policies())");
+    PolicySpec spec;
+    spec.label = name;
+    spec.adaptive = info->adaptive;
+    spec.make = [name = std::move(name)](const ArtifactSet& artifacts,
+                                         std::uint64_t rep_seed) {
+        sched::PolicyConfig config;
+        if (artifacts.training)
+            // Aliasing pointer: the model lives inside the shared training
+            // artifact, which stays alive as long as any cell holds it.
+            config.model = std::shared_ptr<const model::InterferenceModel>(
+                artifacts.training, &artifacts.training->model);
+        config.seed = rep_seed;
+        return sched::make_policy(name, config);
+    };
+    return spec;
+}
+
+std::vector<PolicySpec> registry_policies(std::span<const std::string> names) {
+    std::vector<PolicySpec> specs;
+    specs.reserve(names.size());
+    for (const std::string& name : names) specs.push_back(registry_policy(name));
+    return specs;
 }
 
 const CellResult* CampaignResult::find(const std::string& workload,
@@ -83,7 +114,11 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                                    const std::vector<Aggregator*>& aggregators) {
     const auto start = std::chrono::steady_clock::now();
     if (campaign.configs.empty()) throw std::invalid_argument("campaign: no configs");
-    if (campaign.policies.empty()) throw std::invalid_argument("campaign: no policies");
+    // The policy axis: explicit columns first, then registered names.
+    std::vector<PolicySpec> policies = campaign.policies;
+    for (const std::string& name : campaign.policy_names)
+        policies.push_back(registry_policy(name));
+    if (policies.empty()) throw std::invalid_argument("campaign: no policies");
 
     // ---- resolve shared artifacts and the workload axis per config -------
     struct ConfigPlan {
@@ -131,7 +166,7 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
     std::vector<std::unique_ptr<CellState>> cells;
     for (std::size_t ci = 0; ci < plans.size(); ++ci)
         for (std::size_t wi = 0; wi < plans[ci].workloads.size(); ++wi)
-            for (std::size_t pi = 0; pi < campaign.policies.size(); ++pi) {
+            for (std::size_t pi = 0; pi < policies.size(); ++pi) {
                 auto cell = std::make_unique<CellState>();
                 cell->index = cells.size();
                 cell->config_index = ci;
@@ -139,7 +174,7 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                 cell->policy_index = pi;
                 cell->plan = &plans[ci];
                 cell->spec = &plans[ci].workloads[wi];
-                cell->policy = &campaign.policies[pi];
+                cell->policy = &policies[pi];
                 cell->runs.resize(static_cast<std::size_t>(reps));
                 cell->run_metrics.resize(static_cast<std::size_t>(reps));
                 cell->remaining.store(reps, std::memory_order_relaxed);
@@ -197,6 +232,7 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                 done->smt_ways = campaign.configs[cell->config_index].smt_ways;
                 done->workload = cell->spec->name;
                 done->policy = cell->policy->label;
+                done->adaptive = cell->policy->adaptive;
                 done->result = aggregate_repetitions(*cell->spec, std::move(cell->runs),
                                                      cell->run_metrics, opts.cv_limit);
                 emit_ready(std::move(done), cell->index);

@@ -17,6 +17,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,10 +46,21 @@ struct PolicySpec {
     std::function<std::unique_ptr<sched::AllocationPolicy>(const ArtifactSet&,
                                                            std::uint64_t rep_seed)>
         make;
+    /// Policy retrains its model online (sched::OnlinePolicy); flows into
+    /// result rows and the CSV `adaptive` column.
+    bool adaptive = false;
 };
 
 /// Adapts a methodology-level PolicyFactory (no artifact inputs).
 PolicySpec policy(std::string label, workloads::PolicyFactory factory);
+
+/// A grid column for a registered policy name (sched/registry.hpp): the
+/// factory feeds the config's trained model (when resolved) and the
+/// repetition seed into sched::make_policy.  Throws for unknown names.
+PolicySpec registry_policy(std::string name);
+
+/// Expands a `policy=` axis of registered names into grid columns.
+std::vector<PolicySpec> registry_policies(std::span<const std::string> names);
 
 /// Declarative description of an evaluation grid.
 struct Campaign {
@@ -61,6 +73,10 @@ struct Campaign {
     std::vector<workloads::WorkloadSpec> workloads;
     bool use_paper_workloads = false;
     std::vector<PolicySpec> policies;
+    /// Registered policy names appended to `policies` as additional grid
+    /// columns (expanded through registry_policy); lets campaigns declare a
+    /// `policy=` axis by name with no compile-time wiring.
+    std::vector<std::string> policy_names;
 
     /// Repetitions, seeds, profiling windows, CV discard (paper §V-B).
     workloads::MethodologyOptions methodology;
@@ -86,7 +102,8 @@ struct CellResult {
     int cores = 0;     ///< cores per chip
     int smt_ways = 0;  ///< SMT width of the cell's config
     std::string workload;
-    std::string policy;  ///< PolicySpec label
+    std::string policy;    ///< PolicySpec label
+    bool adaptive = false; ///< policy column retrains its model online
     workloads::RepeatedResult result;
 };
 

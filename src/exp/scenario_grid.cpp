@@ -36,6 +36,13 @@ ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs) {
         quanta_total += static_cast<double>(run.quanta_executed);
         migrations_total += static_cast<double>(run.migrations);
         cross_chip_total += static_cast<double>(run.cross_chip_migrations);
+        s.adaptive = s.adaptive || run.adaptive;
+        s.phase_changes_per_run += static_cast<double>(run.phase_changes);
+        s.model_refits_per_run += static_cast<double>(run.model_refits);
+    }
+    if (!runs.empty()) {
+        s.phase_changes_per_run /= static_cast<double>(runs.size());
+        s.model_refits_per_run /= static_cast<double>(runs.size());
     }
     if (!turnarounds.empty()) {
         double sum = 0.0;
@@ -78,7 +85,11 @@ ScenarioGridResult ScenarioGridRunner::run(
     if (campaign.configs.empty()) throw std::invalid_argument("scenario grid: no configs");
     if (campaign.scenarios.empty())
         throw std::invalid_argument("scenario grid: no scenarios");
-    if (campaign.policies.empty()) throw std::invalid_argument("scenario grid: no policies");
+    // The policy axis: explicit columns first, then registered names.
+    std::vector<PolicySpec> policies = campaign.policies;
+    for (const std::string& name : campaign.policy_names)
+        policies.push_back(registry_policy(name));
+    if (policies.empty()) throw std::invalid_argument("scenario grid: no policies");
 
     // ---- resolve shared artifacts per config ------------------------------
     std::vector<ArtifactSet> artifacts(campaign.configs.size());
@@ -103,7 +114,7 @@ ScenarioGridResult ScenarioGridRunner::run(
     std::vector<std::unique_ptr<CellState>> cells;
     for (std::size_t ci = 0; ci < campaign.configs.size(); ++ci)
         for (std::size_t si = 0; si < campaign.scenarios.size(); ++si)
-            for (std::size_t pi = 0; pi < campaign.policies.size(); ++pi) {
+            for (std::size_t pi = 0; pi < policies.size(); ++pi) {
                 auto cell = std::make_unique<CellState>();
                 cell->index = cells.size();
                 cell->config_index = ci;
@@ -141,7 +152,7 @@ ScenarioGridResult ScenarioGridRunner::run(
     for (const auto& cell_ptr : cells) {
         CellState* cell = cell_ptr.get();
         for (int rep = 0; rep < reps; ++rep) {
-            pool_.submit([this, &campaign, &artifacts, cell, rep, &emit_ready] {
+            pool_.submit([this, &campaign, &policies, &artifacts, cell, rep, &emit_ready] {
                 const uarch::SimConfig& cfg = campaign.configs[cell->config_index];
                 // Repetitions re-sample the arrival process with a derived
                 // seed; rep 0 keeps the spec verbatim so its memoized trace
@@ -153,7 +164,7 @@ ScenarioGridResult ScenarioGridRunner::run(
                 const auto trace = cache_->scenario_trace(spec, cfg);
                 const std::uint64_t rep_seed =
                     common::derive_key(spec.seed, 0x9001, static_cast<std::uint64_t>(rep));
-                const auto policy = campaign.policies[cell->policy_index].make(
+                const auto policy = policies[cell->policy_index].make(
                     artifacts[cell->config_index], rep_seed);
                 uarch::Platform platform(cfg);
                 scenario::ScenarioRunner runner(
@@ -171,7 +182,8 @@ ScenarioGridResult ScenarioGridRunner::run(
                 done->cores = cfg.cores;
                 done->smt_ways = cfg.smt_ways;
                 done->scenario = campaign.scenarios[cell->scenario_index].name;
-                done->policy = campaign.policies[cell->policy_index].label;
+                done->policy = policies[cell->policy_index].label;
+                done->adaptive = policies[cell->policy_index].adaptive;
                 done->runs = std::move(cell->runs);
                 done->summary = summarize_runs(done->runs);
                 emit_ready(std::move(done), cell->index);
@@ -197,10 +209,12 @@ ScenarioCsvAggregator::ScenarioCsvAggregator(std::ostream& os) : os_(os) {}
 
 void ScenarioCsvAggregator::on_cell(const ScenarioCellResult& cell) {
     if (!header_written_) {
+        // `adaptive` stays the trailing column: the CI smoke checks address
+        // the leading columns positionally.
         os_ << "config,chips,cores,smt_ways,scenario_index,policy_index,scenario,policy,"
                "planned,completed,all_completed,mean_tt,p50_tt,p95_tt,p99_tt,mean_queue,"
                "mean_slowdown,mean_utilization,throughput,migrations_per_quantum,"
-               "cross_chip_per_quantum\n";
+               "cross_chip_per_quantum,adaptive\n";
         header_written_ = true;
     }
     const ScenarioSummary& s = cell.summary;
@@ -211,7 +225,9 @@ void ScenarioCsvAggregator::on_cell(const ScenarioCellResult& cell) {
         << ',' << s.p50_turnaround << ',' << s.p95_turnaround << ',' << s.p99_turnaround
         << ',' << s.mean_queue << ',' << s.mean_slowdown << ',' << s.mean_utilization << ','
         << s.throughput << ',' << s.migrations_per_quantum << ','
-        << s.cross_chip_per_quantum << '\n';
+        // Measured, not declared: true when the runs' policy actually
+        // implemented sched::OnlinePolicy, whatever the PolicySpec said.
+        << s.cross_chip_per_quantum << ',' << (s.adaptive ? 1 : 0) << '\n';
 }
 
 void ScenarioCsvAggregator::finish() { os_.flush(); }

@@ -33,6 +33,9 @@ struct ScenarioCampaign {
     std::vector<uarch::SimConfig> configs;
     std::vector<scenario::ScenarioSpec> scenarios;
     std::vector<PolicySpec> policies;
+    /// Registered policy names appended to `policies` as additional grid
+    /// columns (the `policy=` axis; see exp::registry_policy).
+    std::vector<std::string> policy_names;
 
     int reps = 1;  ///< repetitions re-sample arrivals (derived seeds)
     std::uint64_t max_quanta = 20'000;
@@ -59,6 +62,11 @@ struct ScenarioSummary {
     double throughput = 0.0;       ///< completed tasks per executed quantum
     double migrations_per_quantum = 0.0;
     double cross_chip_per_quantum = 0.0;  ///< cross-chip subset of migrations
+
+    /// Online adaptation across the repetitions (sched::OnlinePolicy).
+    bool adaptive = false;
+    double phase_changes_per_run = 0.0;
+    double model_refits_per_run = 0.0;
 };
 
 ScenarioSummary summarize_runs(std::span<const scenario::ScenarioResult> runs);
@@ -72,7 +80,8 @@ struct ScenarioCellResult {
     int cores = 0;     ///< cores per chip
     int smt_ways = 0;  ///< SMT width of the cell's config
     std::string scenario;
-    std::string policy;  ///< PolicySpec label
+    std::string policy;    ///< PolicySpec label
+    bool adaptive = false; ///< policy column retrains its model online
     std::vector<scenario::ScenarioResult> runs;  ///< one per repetition
     ScenarioSummary summary;
 };

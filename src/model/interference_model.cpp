@@ -44,6 +44,21 @@ double predict_group_slowdown(const InterferenceModel& model,
     return total;
 }
 
+std::vector<double> predict_member_slowdowns(const InterferenceModel& model,
+                                             std::span<const CategoryVector> members) {
+    std::vector<double> out;
+    out.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        CategoryVector pressure{};
+        for (std::size_t j = 0; j < members.size(); ++j) {
+            if (j == i) continue;
+            for (std::size_t c = 0; c < kCategoryCount; ++c) pressure[c] += members[j][c];
+        }
+        out.push_back(model.predict_slowdown(members[i], pressure));
+    }
+    return out;
+}
+
 std::string InterferenceModel::to_string() const {
     std::ostringstream os;
     os.setf(std::ios::fixed);

@@ -13,6 +13,7 @@
 #include <array>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "model/categories.hpp"
 
@@ -75,5 +76,14 @@ private:
 /// predictors cannot diverge.
 double predict_group_slowdown(const InterferenceModel& model,
                               std::span<const CategoryVector> members);
+
+/// The per-member addends of predict_group_slowdown: member i evaluated by
+/// Equation 1 against the superposed category pressure of every other
+/// member (a singleton scores its "runs alone" term).  The objective
+/// variants of the follow-up family paper (throughput/STP, fairness,
+/// turnaround tail) are nonlinear functions of these per-member slowdowns,
+/// so they need the addends rather than the plain sum.
+std::vector<double> predict_member_slowdowns(const InterferenceModel& model,
+                                             std::span<const CategoryVector> members);
 
 }  // namespace synpa::model

@@ -22,6 +22,12 @@ CategoryBreakdown quantum_breakdown(const pmu::CounterBank& now, const pmu::Coun
 
 }  // namespace
 
+std::array<double, kDesignColumns> design_row(const TrainingSample& sample,
+                                              std::size_t category) noexcept {
+    return {1.0, sample.st_self[category], sample.st_corunner[category],
+            sample.st_self[category] * sample.st_corunner[category]};
+}
+
 IsolatedProfile::IsolatedProfile(std::string app_name, std::vector<Quantum> quanta)
     : app_name_(std::move(app_name)), quanta_(std::move(quanta)) {
     if (quanta_.empty()) throw std::invalid_argument("IsolatedProfile: no quanta");
@@ -209,14 +215,12 @@ TrainingResult Trainer::fit(std::vector<TrainingSample> samples, const TrainerOp
     TrainingResult result;
     result.sample_count = samples.size();
     for (std::size_t c = 0; c < kCategoryCount; ++c) {
-        linalg::Matrix design(samples.size(), 4);
+        linalg::Matrix design(samples.size(), kDesignColumns);
         std::vector<double> target(samples.size());
         for (std::size_t r = 0; r < samples.size(); ++r) {
             const TrainingSample& s = samples[r];
-            design(r, 0) = 1.0;
-            design(r, 1) = s.st_self[c];
-            design(r, 2) = s.st_corunner[c];
-            design(r, 3) = s.st_self[c] * s.st_corunner[c];
+            const auto row = design_row(s, c);
+            for (std::size_t k = 0; k < kDesignColumns; ++k) design(r, k) = row[k];
             target[r] = s.smt_per_st[c];
         }
         linalg::LeastSquaresResult fit;

@@ -81,6 +81,18 @@ struct TrainingSample {
     CategoryVector smt_per_st{};   ///< SMT categories per isolated cycle (sum = slowdown)
 };
 
+/// Columns of the Equation-1 regression: intercept, C_self, C_corunner,
+/// and the interaction term.
+inline constexpr std::size_t kDesignColumns = 4;
+
+/// The design-matrix row of one sample for one category:
+/// {1, C_self, C_corunner, C_self * C_corunner}.  Single definition shared
+/// by the offline Trainer's batch fit and online::IncrementalTrainer's
+/// rank-one updates, so the two paths factor the *same* regression and the
+/// incremental-vs-offline equivalence can be pinned bit-exactly.
+std::array<double, kDesignColumns> design_row(const TrainingSample& sample,
+                                              std::size_t category) noexcept;
+
 struct TrainerOptions {
     std::uint64_t isolated_quanta = 160;  ///< isolated profiling length
     std::uint64_t pair_quanta = 48;       ///< length of each SMT pair run

@@ -1,0 +1,76 @@
+#include "online/phase_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/config.hpp"
+
+namespace synpa::online {
+
+PhaseDetector::Options PhaseDetector::Options::from_env() {
+    Options o;
+    o.warmup_quanta = static_cast<int>(std::max<std::int64_t>(
+        common::env_int("SYNPA_ONLINE_WARMUP", o.warmup_quanta), 2));
+    o.drift = common::env_double("SYNPA_ONLINE_DRIFT", o.drift);
+    o.threshold = common::env_double("SYNPA_ONLINE_THRESHOLD", o.threshold);
+    return o;
+}
+
+PhaseDetector::PhaseDetector(Options opts) : opts_(opts) {}
+
+bool PhaseDetector::observe(int task_id, double ipc,
+                            const model::CategoryVector& fractions) {
+    std::array<double, kSignalCount> x;
+    x[0] = ipc;
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c) x[c + 1] = fractions[c];
+
+    TaskState& task = state_[task_id];
+    if (task.samples < opts_.warmup_quanta) {
+        // Welford baseline accumulation; no alarms while warming up.
+        ++task.samples;
+        for (std::size_t s = 0; s < kSignalCount; ++s) {
+            Signal& sig = task.signals[s];
+            const double delta = x[s] - sig.mean;
+            sig.mean += delta / static_cast<double>(task.samples);
+            sig.m2 += delta * (x[s] - sig.mean);
+        }
+        if (task.samples == opts_.warmup_quanta) {
+            for (std::size_t s = 0; s < kSignalCount; ++s) {
+                Signal& sig = task.signals[s];
+                const double var =
+                    task.samples > 1 ? sig.m2 / static_cast<double>(task.samples - 1) : 0.0;
+                sig.sigma = std::max(std::sqrt(std::max(var, 0.0)), opts_.min_sigma[s]);
+            }
+        }
+        return false;
+    }
+
+    bool alarm = false;
+    for (std::size_t s = 0; s < kSignalCount; ++s) {
+        Signal& sig = task.signals[s];
+        const double z = (x[s] - sig.mean) / sig.sigma;
+        sig.pos = std::max(0.0, sig.pos + z - opts_.drift);
+        sig.neg = std::max(0.0, sig.neg - z - opts_.drift);
+        alarm = alarm || sig.pos > opts_.threshold || sig.neg > opts_.threshold;
+    }
+    if (!alarm) return false;
+
+    ++alarms_;
+    // Restart the baseline from the alarming sample: it already belongs to
+    // the new phase, so it seeds the next warmup.
+    task = TaskState{};
+    ++task.samples;
+    for (std::size_t s = 0; s < kSignalCount; ++s) task.signals[s].mean = x[s];
+    return true;
+}
+
+void PhaseDetector::reset(int task_id) { state_.erase(task_id); }
+
+void PhaseDetector::forget(int task_id) { state_.erase(task_id); }
+
+bool PhaseDetector::warmed_up(int task_id) const {
+    const auto it = state_.find(task_id);
+    return it != state_.end() && it->second.samples >= opts_.warmup_quanta;
+}
+
+}  // namespace synpa::online

@@ -29,7 +29,17 @@ ScenarioRunner::ScenarioRunner(uarch::Platform& platform, sched::AllocationPolic
 }
 
 ScenarioResult ScenarioRunner::run() {
-    return trace_.spec.process == ArrivalProcess::kClosed ? run_closed() : run_open();
+    ScenarioResult result =
+        trace_.spec.process == ArrivalProcess::kClosed ? run_closed() : run_open();
+    // Online-adaptation accounting: policies that retrain their model at
+    // runtime expose counters through sched::OnlinePolicy; frozen-model
+    // policies leave the fields at their zero defaults.
+    if (const auto* online = dynamic_cast<const sched::OnlinePolicy*>(&policy_)) {
+        result.adaptive = true;
+        result.phase_changes = online->phase_changes();
+        result.model_refits = online->model_refits();
+    }
+    return result;
 }
 
 // ---------------------------------------------------------------- closed --

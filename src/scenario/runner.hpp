@@ -65,6 +65,12 @@ struct ScenarioResult {
     bool completed = true;  ///< every planned task finished within max_quanta
     double turnaround_quanta = 0.0;  ///< slowest completed task's finish time
 
+    /// Online-adaptation accounting (policies implementing
+    /// sched::OnlinePolicy; zero for frozen-model policies).
+    bool adaptive = false;
+    std::uint64_t phase_changes = 0;  ///< CUSUM alarms the policy raised
+    std::uint64_t model_refits = 0;   ///< incremental refits folded in
+
     /// Mean utilization over the executed timeline (0 when not recorded).
     double mean_utilization() const noexcept;
 };

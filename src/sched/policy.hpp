@@ -130,6 +130,22 @@ public:
     virtual void on_task_finished(int task_id);
 };
 
+/// Optional side-interface for policies that adapt online — detecting task
+/// phase changes from PMU deltas and folding fresh observations back into
+/// their interference model.  Drivers discover it via dynamic_cast and
+/// report the counters in their results (the scenario CSV's `adaptive`
+/// column); policies without it are "frozen-model" by definition.
+class OnlinePolicy {
+public:
+    virtual ~OnlinePolicy() = default;
+    /// Phase-change alarms raised so far.
+    virtual std::uint64_t phase_changes() const = 0;
+    /// Incremental model refits folded into the running policy so far.
+    virtual std::uint64_t model_refits() const = 0;
+    /// Online training samples absorbed so far.
+    virtual std::uint64_t samples_absorbed() const = 0;
+};
+
 /// Reconstructs the current grouping from a set of observations (helper
 /// shared by the keep-current default and several policies).  The result is
 /// core-aligned: entry c describes core c, with empty groups for idle cores

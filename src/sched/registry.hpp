@@ -1,0 +1,68 @@
+// String-keyed policy registry: every allocation policy in the tree —
+// baselines, the paper's SYNPA, the family-paper objective variants, and
+// the online phase-adaptive loop — constructible as
+//
+//   auto policy = sched::make_policy("synpa-fair", config);
+//
+// so campaigns, scenario grids, benches and examples select policies by
+// name (a `policy=` grid axis, an environment list) instead of compile-time
+// wiring.  registered_policies() is the single source of truth for the
+// name set; tools/check_docs.py cross-checks it against the policy table in
+// docs/REFERENCE.md, so adding an entry here without documenting it fails
+// CI.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/synpa_policy.hpp"
+#include "model/interference_model.hpp"
+#include "online/adaptive_policy.hpp"
+#include "sched/baselines.hpp"
+#include "sched/policy.hpp"
+#include "sched/topology.hpp"
+
+namespace synpa::sched {
+
+/// Everything a registered factory may need.  Callers fill in what they
+/// have; names that need a missing piece throw std::invalid_argument with
+/// a clear message instead of misbehaving.
+struct PolicyConfig {
+    /// Interference model for the model-based policies (synpa*, oracle).
+    /// An aliasing shared_ptr into a TrainingResult works well here.
+    std::shared_ptr<const model::InterferenceModel> model;
+    /// Seed for the randomized baselines (random, sampling); derive it per
+    /// repetition for independent streams.
+    std::uint64_t seed = 1;
+    /// Base options for every SYNPA-family policy (selector, estimator,
+    /// hysteresis, cross-chip penalty).  The objective field is overridden
+    /// by the objective variants.
+    core::SynpaPolicy::Options synpa{};
+    /// Knobs for the online phase-adaptive loop (synpa-adaptive*).
+    online::OnlineOptions online = online::OnlineOptions::from_env();
+    /// Sampling-baseline explore/exploit windows.
+    SamplingPolicy::Options sampling{};
+};
+
+struct PolicyInfo {
+    std::string_view name;
+    std::string_view objective;  ///< what the policy optimizes (docs table)
+    bool needs_model = false;    ///< requires PolicyConfig::model
+    bool adaptive = false;       ///< retrains its model online
+    std::string_view description;
+};
+
+/// Every registered policy, in documentation order.
+std::span<const PolicyInfo> registered_policies();
+
+/// Registry entry for a name; nullptr when unknown.
+const PolicyInfo* find_policy(std::string_view name);
+
+/// Instantiates a registered policy.  Throws std::invalid_argument for an
+/// unknown name or a missing required config field.
+std::unique_ptr<AllocationPolicy> make_policy(std::string_view name,
+                                              const PolicyConfig& config);
+
+}  // namespace synpa::sched

@@ -1,0 +1,254 @@
+// Tests for the online-adaptation subsystem (src/online/): the CUSUM phase
+// detector's false-positive and detection-latency behaviour, the
+// incremental trainer's bit-exact equivalence with a full offline retrain
+// on shared observations, its agreement with the offline QR fit, and the
+// adaptive policy's end-to-end accounting in the open-system driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/spec_suite.hpp"
+#include "common/rng.hpp"
+#include "model/trainer.hpp"
+#include "online/adaptive_policy.hpp"
+#include "online/incremental_trainer.hpp"
+#include "online/phase_detector.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "uarch/platform.hpp"
+
+namespace {
+
+using namespace synpa;
+
+// ---------- phase detector ----------
+
+model::CategoryVector noisy_fractions(common::Rng& rng, double fe, double be) {
+    // Small bounded jitter around a fixed mix, renormalized to the simplex.
+    const double jitter = 0.01;
+    double f = fe + (rng.uniform() - 0.5) * jitter;
+    double b = be + (rng.uniform() - 0.5) * jitter;
+    double d = 1.0 - f - b;
+    const double sum = f + b + d;
+    return {d / sum, f / sum, b / sum};
+}
+
+TEST(PhaseDetector, NoFalsePositivesOnStationaryTrace) {
+    online::PhaseDetector detector;
+    common::Rng rng(1, 0xfade);
+    for (int q = 0; q < 500; ++q) {
+        const double ipc = 1.5 + (rng.uniform() - 0.5) * 0.05;
+        EXPECT_FALSE(detector.observe(7, ipc, noisy_fractions(rng, 0.2, 0.3)))
+            << "false alarm at quantum " << q;
+    }
+    EXPECT_EQ(detector.alarms(), 0u);
+}
+
+TEST(PhaseDetector, DetectsStepChangeWithinLatencyBound) {
+    online::PhaseDetector::Options opts;  // defaults: warmup 5, k 0.75, h 6
+    online::PhaseDetector detector(opts);
+    common::Rng rng(2, 0xfade);
+    for (int q = 0; q < 60; ++q)
+        ASSERT_FALSE(detector.observe(1, 2.0 + (rng.uniform() - 0.5) * 0.05,
+                                      noisy_fractions(rng, 0.15, 0.25)));
+
+    // A frontend-heavy phase begins: IPC halves, fractions shift hard.
+    int detected_after = -1;
+    for (int q = 0; q < 20; ++q) {
+        if (detector.observe(1, 1.0 + (rng.uniform() - 0.5) * 0.05,
+                             noisy_fractions(rng, 0.45, 0.15))) {
+            detected_after = q;
+            break;
+        }
+    }
+    ASSERT_GE(detected_after, 0) << "step change never detected";
+    // The shift is many sigmas, so the CUSUM must fire within a few quanta
+    // of crossing the boundary (h/drift margin, not a fixed-window scan).
+    EXPECT_LE(detected_after, 8);
+    EXPECT_EQ(detector.alarms(), 1u);
+}
+
+TEST(PhaseDetector, AlarmRestartsBaselineForTheNewPhase) {
+    online::PhaseDetector detector;
+    common::Rng rng(3, 0xfade);
+    for (int q = 0; q < 30; ++q)
+        ASSERT_FALSE(detector.observe(1, 2.0, noisy_fractions(rng, 0.15, 0.25)));
+    int alarms = 0;
+    for (int q = 0; q < 40; ++q)
+        if (detector.observe(1, 0.8, noisy_fractions(rng, 0.5, 0.2))) ++alarms;
+    // Exactly one alarm: after it the baseline re-warms onto the new phase
+    // and the (stationary) new behaviour raises no further alarms.
+    EXPECT_EQ(alarms, 1);
+}
+
+TEST(PhaseDetector, ResetAndForgetClearState) {
+    online::PhaseDetector detector;
+    common::Rng rng(4, 0xfade);
+    for (int q = 0; q < 10; ++q)
+        detector.observe(1, 2.0, noisy_fractions(rng, 0.2, 0.3));
+    EXPECT_TRUE(detector.warmed_up(1));
+    detector.reset(1);
+    EXPECT_FALSE(detector.warmed_up(1));
+    detector.forget(1);
+    EXPECT_FALSE(detector.warmed_up(1));
+}
+
+// ---------- incremental trainer ----------
+
+/// Real aligned samples from the offline pipeline (two apps, one pair run).
+std::vector<model::TrainingSample> pipeline_samples() {
+    uarch::SimConfig cfg;
+    cfg.cycles_per_quantum = 4'000;
+    model::TrainerOptions opts;
+    opts.isolated_quanta = 60;
+    opts.pair_quanta = 40;
+    const model::Trainer trainer(cfg, opts);
+    const apps::AppProfile& a = apps::find_app("mcf");
+    const apps::AppProfile& b = apps::find_app("leela_r");
+    const model::IsolatedProfile prof_a =
+        model::profile_isolated(a, cfg, opts.isolated_quanta, 101);
+    const model::IsolatedProfile prof_b =
+        model::profile_isolated(b, cfg, opts.isolated_quanta, 202);
+    auto samples = trainer.collect_pair_samples(a, b, prof_a, prof_b, 101, 202);
+    auto more = trainer.collect_pair_samples(b, b, prof_b, prof_b, 202, 202);
+    samples.insert(samples.end(), more.begin(), more.end());
+    return samples;
+}
+
+TEST(IncrementalTrainer, IncrementalEqualsOfflineRetrainBitExactly) {
+    const std::vector<model::TrainingSample> samples = pipeline_samples();
+    ASSERT_GE(samples.size(), 16u);
+
+    const model::InterferenceModel prior = model::InterferenceModel::paper_table4();
+    for (const double prior_strength : {0.0, 4.0}) {
+        const online::IncrementalTrainer::Options opts{.prior_strength = prior_strength};
+        online::IncrementalTrainer incremental(prior, opts);
+        for (const model::TrainingSample& s : samples) incremental.add_sample(s);
+        const model::InterferenceModel seq = incremental.fit();
+        const model::InterferenceModel batch =
+            online::IncrementalTrainer::fit_offline(samples, prior, opts);
+        for (std::size_t c = 0; c < model::kCategoryCount; ++c) {
+            const auto& ks = seq.coefficients(static_cast<model::Category>(c));
+            const auto& kb = batch.coefficients(static_cast<model::Category>(c));
+            // Bit-exact: the rank-one updates and the materialized design
+            // matrix accumulate the same products in the same order.
+            EXPECT_EQ(ks.alpha, kb.alpha);
+            EXPECT_EQ(ks.beta, kb.beta);
+            EXPECT_EQ(ks.gamma, kb.gamma);
+            EXPECT_EQ(ks.rho, kb.rho);
+        }
+    }
+}
+
+TEST(IncrementalTrainer, AgreesWithOfflineQrFit) {
+    const std::vector<model::TrainingSample> samples = pipeline_samples();
+
+    // The offline Trainer fit (Householder QR) on the full sample set.
+    model::TrainerOptions fit_opts;
+    fit_opts.sample_fraction = 1.0;  // no subsampling: identical data
+    const model::TrainingResult qr = model::Trainer::fit(samples, fit_opts);
+
+    online::IncrementalTrainer incremental;  // zero prior, pure least squares
+    for (const model::TrainingSample& s : samples) incremental.add_sample(s);
+    const model::InterferenceModel normal = incremental.fit();
+
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c) {
+        const auto& kq = qr.model.coefficients(static_cast<model::Category>(c));
+        const auto& kn = normal.coefficients(static_cast<model::Category>(c));
+        // Normal equations vs QR: same minimizer, different arithmetic.
+        EXPECT_NEAR(kq.alpha, kn.alpha, 1e-6);
+        EXPECT_NEAR(kq.beta, kn.beta, 1e-6);
+        EXPECT_NEAR(kq.gamma, kn.gamma, 1e-6);
+        EXPECT_NEAR(kq.rho, kn.rho, 1e-6);
+    }
+}
+
+TEST(IncrementalTrainer, PriorAnchorDominatesWithoutSamples) {
+    const model::InterferenceModel prior = model::InterferenceModel::paper_table4();
+    online::IncrementalTrainer trainer(prior, {.prior_strength = 2.0});
+    const model::InterferenceModel fit = trainer.fit();
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c) {
+        const auto& kp = prior.coefficients(static_cast<model::Category>(c));
+        const auto& kf = fit.coefficients(static_cast<model::Category>(c));
+        // With zero samples the anchored normal equations return the prior.
+        EXPECT_NEAR(kp.alpha, kf.alpha, 1e-12);
+        EXPECT_NEAR(kp.beta, kf.beta, 1e-12);
+        EXPECT_NEAR(kp.gamma, kf.gamma, 1e-12);
+        EXPECT_NEAR(kp.rho, kf.rho, 1e-12);
+    }
+    EXPECT_THROW(online::IncrementalTrainer().fit(), std::runtime_error);
+}
+
+TEST(IncrementalTrainer, DecayAgesOutOldEvidence) {
+    const std::vector<model::TrainingSample> samples = pipeline_samples();
+    const std::size_t half = samples.size() / 2;
+
+    online::IncrementalTrainer decayed;
+    for (std::size_t i = 0; i < half; ++i) decayed.add_sample(samples[i]);
+    decayed.decay(1e-9);  // old regime all but erased
+    for (std::size_t i = half; i < samples.size(); ++i) decayed.add_sample(samples[i]);
+
+    online::IncrementalTrainer fresh;
+    for (std::size_t i = half; i < samples.size(); ++i) fresh.add_sample(samples[i]);
+
+    const model::InterferenceModel a = decayed.fit();
+    const model::InterferenceModel b = fresh.fit();
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c) {
+        const auto& ka = a.coefficients(static_cast<model::Category>(c));
+        const auto& kb = b.coefficients(static_cast<model::Category>(c));
+        // Relative tolerance: the regression is near-collinear, so the
+        // decayed residue of the old regime perturbs large coefficients
+        // proportionally.
+        const auto near = [](double x, double y) {
+            EXPECT_NEAR(x, y, 1e-4 * (1.0 + std::abs(x)));
+        };
+        near(ka.alpha, kb.alpha);
+        near(ka.beta, kb.beta);
+        near(ka.gamma, kb.gamma);
+        near(ka.rho, kb.rho);
+    }
+    EXPECT_LT(decayed.effective_weight(),
+              static_cast<double>(decayed.sample_count()));
+}
+
+// ---------- adaptive policy, end to end ----------
+
+TEST(AdaptiveSynpaPolicy, ReportsAdaptationThroughScenarioResult) {
+    uarch::SimConfig cfg;
+    cfg.cores = 4;
+    cfg.cycles_per_quantum = 4'000;
+
+    scenario::ScenarioSpec spec;
+    spec.name = "adaptive-smoke";
+    spec.process = scenario::ArrivalProcess::kPoisson;
+    // Multi-phase apps so the CUSUM has real phase boundaries to find.
+    spec.app_mix = {"leela_r", "gobmk", "xalancbmk_r", "mcf"};
+    spec.initial_tasks = 6;
+    spec.arrival_rate = 0.5;
+    spec.service_quanta = 12;
+    spec.horizon_quanta = 60;
+    spec.seed = 9;
+    const scenario::ScenarioTrace trace = scenario::build_trace(spec, cfg);
+
+    uarch::Platform platform(cfg);
+    online::AdaptiveSynpaPolicy policy(model::InterferenceModel::paper_table4());
+    EXPECT_EQ(policy.name(), "synpa-adaptive");
+    scenario::ScenarioRunner runner(platform, policy, trace, {.max_quanta = 3'000});
+    const scenario::ScenarioResult result = runner.run();
+
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(result.adaptive);
+    EXPECT_EQ(result.phase_changes, policy.phase_changes());
+    EXPECT_EQ(result.model_refits, policy.model_refits());
+    // The frozen twin of the same run reports no adaptation.
+    uarch::Platform frozen_platform(cfg);
+    core::SynpaPolicy frozen(model::InterferenceModel::paper_table4());
+    scenario::ScenarioRunner frozen_runner(frozen_platform, frozen, trace,
+                                           {.max_quanta = 3'000});
+    EXPECT_FALSE(frozen_runner.run().adaptive);
+}
+
+}  // namespace

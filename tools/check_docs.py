@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Docs consistency checks (run by the CI docs job).
+
+1. Every intra-repo markdown link in every *.md file must resolve to an
+   existing file or directory.
+2. Every policy name registered in src/sched/registry.cpp (the table
+   between the registry-table-begin/end markers) must be documented in
+   docs/REFERENCE.md as an inline-code `name`.
+
+Exits nonzero listing every violation; prints a summary on success.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+# [text](target) — excluding images is unnecessary (same resolution rules).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REGISTRY_NAME_RE = re.compile(r'^\s*\{"([^"]+)"')
+
+
+def markdown_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_links():
+    errors = []
+    for md in markdown_files():
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (md.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(REPO)}:{lineno}: broken link '{target}'"
+                    )
+    return errors
+
+
+def registry_names():
+    source = (REPO / "src/sched/registry.cpp").read_text()
+    try:
+        table = source.split("registry-table-begin", 1)[1].split(
+            "registry-table-end", 1
+        )[0]
+    except IndexError:
+        sys.exit("src/sched/registry.cpp: registry-table markers not found")
+    names = [
+        m.group(1) for line in table.splitlines() if (m := REGISTRY_NAME_RE.match(line))
+    ]
+    if not names:
+        sys.exit("src/sched/registry.cpp: no policy names parsed from the table")
+    return names
+
+
+def check_policy_docs():
+    reference = (REPO / "docs/REFERENCE.md").read_text()
+    return [
+        f"docs/REFERENCE.md: registered policy '{name}' is undocumented"
+        for name in registry_names()
+        if f"`{name}`" not in reference
+    ]
+
+
+def main():
+    errors = check_links() + check_policy_docs()
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        sys.exit(1)
+    md_count = sum(1 for _ in markdown_files())
+    print(f"docs OK: {md_count} markdown files, {len(registry_names())} policies documented")
+
+
+if __name__ == "__main__":
+    main()
