@@ -1,0 +1,77 @@
+// A dense, id-indexed replacement for std::unordered_map<int, V> on the
+// simulator's hot task-lookup paths.
+//
+// Task ids are small, monotonically assigned integers (drivers hand them
+// out starting at 1 and never reuse them), so a flat vector indexed by id
+// beats hashing: Platform::task_counters and the bind/placement paths look
+// up every live task every quantum — at 512 hardware contexts that is
+// hundreds of probes per quantum, and the hash, probe chain and cache
+// misses of unordered_map show up in profiles.  Lookup here is one bounds
+// check and one vector index.
+//
+// Memory: the backing vector grows to the largest id ever inserted and
+// never shrinks (erase only clears the presence flag).  Ids are assigned
+// densely by the drivers, so the footprint is O(tasks ever admitted) with
+// a few bytes per entry — bounded in long open-system runs by the same
+// forget_task discipline that used to bound the hash maps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace synpa::common {
+
+template <class V>
+class FlatIdMap {
+public:
+    /// Pointer to the value for `id`, or nullptr when absent.
+    V* find(int id) noexcept {
+        const auto i = static_cast<std::size_t>(id);
+        return id >= 0 && i < present_.size() && present_[i] ? &values_[i] : nullptr;
+    }
+    const V* find(int id) const noexcept {
+        const auto i = static_cast<std::size_t>(id);
+        return id >= 0 && i < present_.size() && present_[i] ? &values_[i] : nullptr;
+    }
+
+    bool contains(int id) const noexcept { return find(id) != nullptr; }
+
+    /// Inserts or overwrites the value for `id` (id must be >= 0).
+    void insert_or_assign(int id, V value) {
+        const auto i = static_cast<std::size_t>(id);
+        if (i >= present_.size()) {
+            present_.resize(i + 1, 0);
+            values_.resize(i + 1);
+        }
+        size_ += present_[i] ? 0u : 1u;
+        present_[i] = 1;
+        values_[i] = std::move(value);
+    }
+
+    /// Removes `id`; returns whether it was present.  Capacity is kept.
+    bool erase(int id) noexcept {
+        const auto i = static_cast<std::size_t>(id);
+        if (id < 0 || i >= present_.size() || !present_[i]) return false;
+        present_[i] = 0;
+        values_[i] = V{};
+        --size_;
+        return true;
+    }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /// Calls fn(id, value) for every present entry in ascending id order.
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t i = 0; i < present_.size(); ++i)
+            if (present_[i]) fn(static_cast<int>(i), values_[i]);
+    }
+
+private:
+    std::vector<unsigned char> present_;
+    std::vector<V> values_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace synpa::common

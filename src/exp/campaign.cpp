@@ -217,8 +217,15 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                     opts.seed, common::hash_string(cell->spec->name), 0x9001,
                     static_cast<std::uint64_t>(rep));
                 const auto pol = cell->policy->make(cell->plan->artifacts, rep_seed);
+                // Nested parallelism composes by capping: repetitions
+                // already fan out over this pool, so the cell's platform
+                // only keeps sim_threads the host has spare (results are
+                // identical at any thread count).
+                uarch::SimConfig cell_cfg = cell->plan->cfg;
+                cell_cfg.sim_threads =
+                    uarch::nested_sim_threads(cell_cfg.sim_threads, pool_.size());
                 cell->runs[static_cast<std::size_t>(rep)] = workloads::run_workload_once(
-                    *prepared, cell->plan->cfg, *pol, rep_opts);
+                    *prepared, cell_cfg, *pol, rep_opts);
                 cell->run_metrics[static_cast<std::size_t>(rep)] =
                     metrics::compute_metrics(cell->runs[static_cast<std::size_t>(rep)]);
                 if (cell->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;

@@ -166,7 +166,14 @@ ScenarioGridResult ScenarioGridRunner::run(
                     common::derive_key(spec.seed, 0x9001, static_cast<std::uint64_t>(rep));
                 const auto policy = policies[cell->policy_index].make(
                     artifacts[cell->config_index], rep_seed);
-                uarch::Platform platform(cfg);
+                // Nested parallelism composes by capping: the grid already
+                // fans out across cells, so the cell's platform only keeps
+                // sim_threads the host has spare (results are identical at
+                // any thread count).
+                uarch::SimConfig cell_cfg = cfg;
+                cell_cfg.sim_threads =
+                    uarch::nested_sim_threads(cfg.sim_threads, pool_.size());
+                uarch::Platform platform(cell_cfg);
                 scenario::ScenarioRunner runner(
                     platform, *policy, *trace,
                     {.max_quanta = campaign.max_quanta,

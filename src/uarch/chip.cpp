@@ -51,41 +51,41 @@ void Chip::bind(apps::AppInstance& task, CpuSlot where) {
     ThreadContext& ctx = cores_[static_cast<std::size_t>(where.core)].slot(where.slot);
     if (ctx.bound()) throw std::logic_error("Chip::bind: slot occupied");
 
-    const auto prev = last_core_.find(task.id());
-    if (prev != last_core_.end() && prev->second != where.core)
+    const int* prev = last_core_.find(task.id());
+    if (prev != nullptr && *prev != where.core)
         task.start_warmup(cfg_.warmup_insts, cfg_.warmup_miss_multiplier);
-    last_core_[task.id()] = where.core;
+    last_core_.insert_or_assign(task.id(), where.core);
 
     ctx.bind(&task);
-    tasks_[task.id()] = &task;
-    placement_[task.id()] = where;
+    tasks_.insert_or_assign(task.id(), &task);
+    placement_.insert_or_assign(task.id(), where);
 }
 
 void Chip::unbind(int task_id) {
-    const auto it = placement_.find(task_id);
-    if (it == placement_.end()) throw std::logic_error("Chip::unbind: task not bound");
-    cores_[static_cast<std::size_t>(it->second.core)].slot(it->second.slot).unbind();
-    placement_.erase(it);
+    const CpuSlot* it = placement_.find(task_id);
+    if (it == nullptr) throw std::logic_error("Chip::unbind: task not bound");
+    cores_[static_cast<std::size_t>(it->core)].slot(it->slot).unbind();
+    placement_.erase(task_id);
     tasks_.erase(task_id);
 }
 
 CpuSlot Chip::placement(int task_id) const {
-    const auto it = placement_.find(task_id);
-    if (it == placement_.end()) throw std::logic_error("Chip::placement: task not bound");
-    return it->second;
+    const CpuSlot* it = placement_.find(task_id);
+    if (it == nullptr) throw std::logic_error("Chip::placement: task not bound");
+    return *it;
 }
 
 std::vector<apps::AppInstance*> Chip::bound_tasks() const {
     std::vector<apps::AppInstance*> out;
     out.reserve(tasks_.size());
-    for (const auto& [id, task] : tasks_) out.push_back(task);
+    tasks_.for_each([&out](int, apps::AppInstance* task) { out.push_back(task); });
     return out;
 }
 
 pmu::CounterBank Chip::task_counters(int task_id) const {
-    const auto it = tasks_.find(task_id);
-    if (it == tasks_.end()) throw std::logic_error("Chip::task_counters: unknown task");
-    return it->second->counters();
+    apps::AppInstance* const* it = tasks_.find(task_id);
+    if (it == nullptr) throw std::logic_error("Chip::task_counters: unknown task");
+    return (*it)->counters();
 }
 
 void Chip::refresh_rates() {

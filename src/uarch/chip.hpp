@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "apps/instance.hpp"
+#include "common/flat_map.hpp"
 #include "pmu/perf_session.hpp"
 #include "uarch/memory.hpp"
 #include "uarch/sim_config.hpp"
@@ -85,9 +85,12 @@ private:
     std::uint64_t now_ = 0;
     std::uint64_t quanta_ = 0;
 
-    std::unordered_map<int, apps::AppInstance*> tasks_;  ///< bound tasks by id
-    std::unordered_map<int, CpuSlot> placement_;
-    std::unordered_map<int, int> last_core_;  ///< survives unbind; drives warmup
+    // Flat (id-indexed) maps: every one is probed per live task per
+    // quantum on the counter/bind paths, where hashing showed up at 512
+    // hardware contexts.
+    common::FlatIdMap<apps::AppInstance*> tasks_;  ///< bound tasks by id
+    common::FlatIdMap<CpuSlot> placement_;
+    common::FlatIdMap<int> last_core_;  ///< survives unbind; drives warmup
 };
 
 }  // namespace synpa::uarch

@@ -1,0 +1,56 @@
+// Chip-sharded quantum execution: fork per-chip work onto a small worker
+// pool, join on a barrier before control returns to the scheduler.
+//
+// Between allocation decisions chips are fully independent — each owns its
+// cores, LLC and DRAM model, every RNG stream lives in the AppInstances
+// bound to exactly one chip, and nothing in Chip::run_quantum reads another
+// chip's state.  That makes per-chip dispatch deterministic by
+// construction: the engine statically partitions chip ids into contiguous
+// shards (shard k runs chips [k*C/S, (k+1)*C/S) in ascending order, the
+// same order the serial loop visits them), so results are bit-identical to
+// the serial path at every worker count.  This is the master-timer-plus-
+// siblings structure Sniper's SMT performance model uses, lifted from SMT
+// sibling threads to whole chips.
+//
+// The calling (coordinating) thread always executes shard 0 itself; only
+// shards 1..S-1 go to the pool, so a platform configured with S sim
+// threads spawns S-1 workers.  The join is per-task futures rather than a
+// pool-wide wait, so an engine never observes work any other component
+// might have queued on a shared pool.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+
+namespace synpa::uarch {
+
+class ParallelQuantumEngine {
+public:
+    /// An engine driving `num_chips` chips with up to `sim_threads`
+    /// threads.  The effective shard count is min(sim_threads, num_chips),
+    /// never below 1; a shard count of 1 degenerates to the serial loop
+    /// and spawns no workers.
+    ParallelQuantumEngine(int sim_threads, int num_chips);
+
+    /// Threads that participate in a quantum (including the caller).
+    int shard_count() const noexcept { return shards_; }
+
+    /// Runs run_chip(c) exactly once for every chip in [0, num_chips),
+    /// sharded across the workers, and returns only after every chip
+    /// finished (the quantum barrier).  The first exception thrown by any
+    /// shard is rethrown here after the barrier.  `run_chip` must not touch
+    /// state shared across chips — the determinism and TSan contracts both
+    /// hang on that.
+    void run_chips(const std::function<void(int)>& run_chip);
+
+private:
+    void run_shard(int shard, const std::function<void(int)>& run_chip) const;
+
+    int num_chips_;
+    int shards_;
+    std::unique_ptr<common::ThreadPool> pool_;  ///< null when shards_ == 1
+};
+
+}  // namespace synpa::uarch

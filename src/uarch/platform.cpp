@@ -11,6 +11,8 @@ Platform::Platform(const SimConfig& cfg) : cfg_(cfg) {
         throw std::invalid_argument("Platform: num_chips must be at least 1");
     chips_.reserve(static_cast<std::size_t>(cfg_.num_chips));
     for (int c = 0; c < cfg_.num_chips; ++c) chips_.push_back(std::make_unique<Chip>(cfg_));
+    if (cfg_.sim_threads > 1 && cfg_.num_chips > 1)
+        engine_ = std::make_unique<ParallelQuantumEngine>(cfg_.sim_threads, cfg_.num_chips);
 }
 
 void Platform::bind(apps::AppInstance& task, CpuSlot where) {
@@ -22,19 +24,19 @@ void Platform::bind(apps::AppInstance& task, CpuSlot where) {
     // Cross-chip move: override the chip's local warmup (if any) with the
     // larger remote window.  Charged after the chip bind so the bigger
     // penalty wins regardless of the task's history on the target chip.
-    const auto prev = last_chip_.find(task.id());
-    if (prev != last_chip_.end() && prev->second != target_chip) {
+    const int* prev = last_chip_.find(task.id());
+    if (prev != nullptr && *prev != target_chip) {
         task.start_warmup(cfg_.cross_chip_warmup_insts(), cfg_.cross_chip_miss_multiplier);
         ++cross_chip_migrations_;
     }
-    last_chip_[task.id()] = target_chip;
+    last_chip_.insert_or_assign(task.id(), target_chip);
 }
 
 void Platform::unbind(int task_id) {
-    const auto it = last_chip_.find(task_id);
-    if (it == last_chip_.end() || !chip(it->second).is_bound(task_id))
+    const int* it = last_chip_.find(task_id);
+    if (it == nullptr || !chip(*it).is_bound(task_id))
         throw std::logic_error("Platform::unbind: task not bound");
-    chip(it->second).unbind(task_id);
+    chip(*it).unbind(task_id);
 }
 
 void Platform::forget_task(int task_id) noexcept {
@@ -43,16 +45,16 @@ void Platform::forget_task(int task_id) noexcept {
 }
 
 CpuSlot Platform::placement(int task_id) const {
-    const auto it = last_chip_.find(task_id);
-    if (it == last_chip_.end() || !chip(it->second).is_bound(task_id))
+    const int* it = last_chip_.find(task_id);
+    if (it == nullptr || !chip(*it).is_bound(task_id))
         throw std::logic_error("Platform::placement: task not bound");
-    const CpuSlot local = chip(it->second).placement(task_id);
-    return {.core = it->second * cores_per_chip() + local.core, .slot = local.slot};
+    const CpuSlot local = chip(*it).placement(task_id);
+    return {.core = *it * cores_per_chip() + local.core, .slot = local.slot};
 }
 
 bool Platform::is_bound(int task_id) const noexcept {
-    const auto it = last_chip_.find(task_id);
-    return it != last_chip_.end() && chip(it->second).is_bound(task_id);
+    const int* it = last_chip_.find(task_id);
+    return it != nullptr && chip(*it).is_bound(task_id);
 }
 
 std::vector<apps::AppInstance*> Platform::bound_tasks() const {
@@ -65,16 +67,24 @@ std::vector<apps::AppInstance*> Platform::bound_tasks() const {
 }
 
 void Platform::run_quantum() {
-    for (const auto& chip : chips_) chip->run_quantum();
+    if (engine_) {
+        // Fork/join: each chip's quantum runs on one shard; the barrier
+        // inside run_chips completes before any platform-level state (or
+        // any driver observe/bind code) runs.  Chip order within a shard
+        // is ascending, so execution only differs from the serial loop by
+        // interleaving across chips that share no state.
+        engine_->run_chips([this](int c) { chips_[static_cast<std::size_t>(c)]->run_quantum(); });
+    } else {
+        for (const auto& chip : chips_) chip->run_quantum();
+    }
     now_ += cfg_.cycles_per_quantum;
     ++quanta_;
 }
 
 pmu::CounterBank Platform::task_counters(int task_id) const {
-    const auto it = last_chip_.find(task_id);
-    if (it == last_chip_.end())
-        throw std::logic_error("Platform::task_counters: unknown task");
-    return chip(it->second).task_counters(task_id);
+    const int* it = last_chip_.find(task_id);
+    if (it == nullptr) throw std::logic_error("Platform::task_counters: unknown task");
+    return chip(*it).task_counters(task_id);
 }
 
 void validate_platform(const Platform& platform) {

@@ -15,16 +15,26 @@
 //     remote-memory latency until the working set migrates).
 // A single-chip platform is bit-identical to driving the chip directly:
 // every bind forwards unchanged and the cross-chip path never triggers.
+//
+// Execution can be chip-sharded: with SimConfig::sim_threads > 1 (env
+// SYNPA_SIM_THREADS) run_quantum dispatches each chip's quantum to a
+// ParallelQuantumEngine and joins on a barrier before returning, so the
+// observe/decide/bind phases of the drivers stay on the coordinating
+// thread.  Results are bit-identical to the serial path at every thread
+// count: chips share no mutable state inside a quantum (RNG streams live
+// in the per-task AppInstances, each bound to exactly one chip) and the
+// platform's own counters advance only after the join.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "apps/instance.hpp"
+#include "common/flat_map.hpp"
 #include "pmu/perf_session.hpp"
 #include "uarch/chip.hpp"
+#include "uarch/parallel_engine.hpp"
 #include "uarch/sim_config.hpp"
 
 namespace synpa::uarch {
@@ -78,8 +88,13 @@ public:
     /// All currently bound tasks across every chip (unspecified order).
     std::vector<apps::AppInstance*> bound_tasks() const;
 
-    /// Runs one scheduling quantum on every chip in lockstep.
+    /// Runs one scheduling quantum on every chip in lockstep.  With
+    /// cfg.sim_threads > 1 the per-chip work is sharded across host
+    /// threads and joined before returning (bit-identical to serial).
     void run_quantum();
+
+    /// Host threads a quantum actually uses (1 = serial path).
+    int sim_shards() const noexcept { return engine_ ? engine_->shard_count() : 1; }
 
     /// Cycles simulated so far.
     std::uint64_t now() const noexcept { return now_; }
@@ -98,7 +113,13 @@ private:
     /// unique_ptr: Chip's SmtCores point into the owning Chip's SimConfig,
     /// so Chip must never relocate once constructed.
     std::vector<std::unique_ptr<Chip>> chips_;
-    std::unordered_map<int, int> last_chip_;  ///< survives unbind; drives warmup
+    /// Chip-sharded quantum execution; null on the serial path
+    /// (sim_threads <= 1 or a single chip).
+    std::unique_ptr<ParallelQuantumEngine> engine_;
+    /// Task id -> chip it last ran on; survives unbind and drives the
+    /// cross-chip warmup.  Flat (id-indexed): probed for every live task
+    /// every quantum through bind/placement/task_counters.
+    common::FlatIdMap<int> last_chip_;
     std::uint64_t now_ = 0;
     std::uint64_t quanta_ = 0;
     std::uint64_t cross_chip_migrations_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 #include <type_traits>
 
 #include "common/config.hpp"
@@ -49,7 +50,19 @@ std::uint64_t config_fingerprint(const SimConfig& cfg) noexcept {
     mix_u64(cfg.warmup_insts);
     mix_int(cfg.mshr_serialization_cap);
     mix_u64(cfg.cycles_per_quantum);
+    // cfg.sim_threads deliberately not mixed: it cannot change results
+    // (parallel quanta are bit-identical to serial), so cached artifacts
+    // must not fork per thread count.
     return h;
+}
+
+int nested_sim_threads(int requested, std::size_t outer_workers) noexcept {
+    if (requested <= 1 || outer_workers <= 1) return std::max(requested, 1);
+    const auto hw = static_cast<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    const auto budget = std::max<std::size_t>(1, hw / outer_workers);
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(requested), budget));
 }
 
 SimConfig SimConfig::from_env() {
@@ -63,6 +76,8 @@ SimConfig SimConfig::from_env() {
         env_int("SYNPA_XCHIP_WARMUP_QUANTA", c.cross_chip_warmup_quanta), 0));
     c.cross_chip_miss_multiplier =
         env_double("SYNPA_XCHIP_MISS_MULT", c.cross_chip_miss_multiplier);
+    c.sim_threads = static_cast<int>(
+        std::max<std::int64_t>(env_int("SYNPA_SIM_THREADS", c.sim_threads), 1));
     c.smt_ways = static_cast<int>(
         std::clamp<std::int64_t>(env_int("SYNPA_SMT_WAYS", c.smt_ways), 1, kMaxSmtWays));
     c.cycles_per_quantum = static_cast<std::uint64_t>(

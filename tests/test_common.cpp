@@ -8,8 +8,10 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -312,6 +314,53 @@ TEST(ThreadPool, SubmitWaitableDeliversExceptionThroughFuture) {
     EXPECT_THROW(failing.get(), std::domain_error);
     pool.wait_idle();  // the future owned the exception; wait_idle stays clean
     SUCCEED();
+}
+
+TEST(FlatIdMap, InsertFindErase) {
+    FlatIdMap<int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_FALSE(map.erase(3));
+
+    map.insert_or_assign(3, 30);
+    map.insert_or_assign(1, 10);
+    ASSERT_NE(map.find(3), nullptr);
+    EXPECT_EQ(*map.find(3), 30);
+    EXPECT_EQ(map.size(), 2u);
+
+    map.insert_or_assign(3, 33);  // overwrite does not grow
+    EXPECT_EQ(*map.find(3), 33);
+    EXPECT_EQ(map.size(), 2u);
+
+    EXPECT_TRUE(map.erase(3));
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_FALSE(map.contains(3));
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_TRUE(map.contains(1));
+}
+
+TEST(FlatIdMap, NegativeAndUnseenIdsAreAbsent) {
+    FlatIdMap<int> map;
+    map.insert_or_assign(0, 7);
+    EXPECT_EQ(map.find(-1), nullptr);
+    EXPECT_FALSE(map.contains(-1));
+    EXPECT_EQ(map.find(1'000'000), nullptr);
+    ASSERT_NE(map.find(0), nullptr);
+    EXPECT_EQ(*map.find(0), 7);
+}
+
+TEST(FlatIdMap, ForEachAscendingIdOrder) {
+    FlatIdMap<int> map;
+    map.insert_or_assign(9, 90);
+    map.insert_or_assign(2, 20);
+    map.insert_or_assign(5, 50);
+    map.erase(5);
+    std::vector<int> ids;
+    map.for_each([&](int id, int value) {
+        ids.push_back(id);
+        EXPECT_EQ(value, id * 10);
+    });
+    EXPECT_EQ(ids, (std::vector<int>{2, 9}));
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Capture a benchmark snapshot: run the Google-Benchmark microbenches and
+write a machine-readable summary to BENCH_sim_throughput.json at the repo
+root.
+
+The snapshot records, per benchmark, wall time and simulated-core-cycles
+throughput, plus the parallel speedup of every BM_PlatformQuantum* row
+against its sim_threads=1 sibling.  Host facts (hardware_concurrency, cpu
+model) are embedded so a snapshot from a 1-core container is not mistaken
+for a parallel-scaling regression: wall-clock speedup only materializes
+with free cores, which the CI runners (and any developer machine) have.
+
+Usage:
+    tools/bench_snapshot.py [--build-dir build] [--output BENCH_sim_throughput.json]
+                            [--min-time 0.05]
+
+Requires the benches to be built (cmake --build <build-dir>); exits non-zero
+with a hint if they are missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as host_platform
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BENCHES = ("bench_sim_throughput", "bench_matching")
+
+
+def run_bench(binary: str, min_time: float) -> dict:
+    """Run one Google-Benchmark binary with JSON output; return the parsed doc."""
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"{os.path.basename(binary)} exited {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def row_summary(b: dict) -> dict:
+    """The fields worth diffing across snapshots, per benchmark row."""
+    out = {
+        "name": b["name"],
+        "real_time_ns": b.get("real_time"),
+        "cpu_time_ns": b.get("cpu_time"),
+        "iterations": b.get("iterations"),
+    }
+    if "items_per_second" in b:
+        out["items_per_second"] = b["items_per_second"]
+    if "sim_shards" in b:
+        out["sim_shards"] = int(b["sim_shards"])
+    return out
+
+
+_THREADS_RE = re.compile(r"threads:(\d+)")
+
+
+def serial_sibling(name: str) -> str:
+    """The sim_threads=1 row a parallel row's speedup is measured against."""
+    return _THREADS_RE.sub("threads:1", name)
+
+
+def platform_speedups(rows: list[dict]) -> list[dict]:
+    """Wall-clock speedup of every parallel BM_PlatformQuantum* row vs. its
+    threads:1 sibling (same chips/shape).  Results are bit-identical across
+    thread counts, so this ratio is pure execution speedup."""
+    by_name = {r["name"]: r for r in rows}
+    speedups = []
+    for r in rows:
+        if not r["name"].startswith("BM_PlatformQuantum"):
+            continue
+        m = _THREADS_RE.search(r["name"])
+        if not m or m.group(1) == "1":
+            continue
+        base = by_name.get(serial_sibling(r["name"]))
+        if not base or not base["real_time_ns"] or not r["real_time_ns"]:
+            continue
+        speedups.append(
+            {
+                "name": r["name"],
+                "threads": int(m.group(1)),
+                "sim_shards": r.get("sim_shards"),
+                "speedup_vs_serial": base["real_time_ns"] / r["real_time_ns"],
+            }
+        )
+    return speedups
+
+
+def cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith(("model name", "hardware", "processor\t")):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return host_platform.processor() or "unknown"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_sim_throughput.json")
+    )
+    ap.add_argument("--min-time", type=float, default=0.05)
+    args = ap.parse_args()
+
+    snapshot = {
+        "host": {
+            "hardware_concurrency": os.cpu_count() or 1,
+            "cpu": cpu_model(),
+            "system": f"{host_platform.system()} {host_platform.release()}",
+            "note": (
+                "speedup_vs_serial needs free host cores; on a "
+                "hardware_concurrency=1 host it reads ~1.0 by construction"
+            ),
+        },
+        "benchmarks": {},
+    }
+
+    for bench in BENCHES:
+        binary = os.path.join(args.build_dir, "bench", bench)
+        if not os.path.exists(binary):
+            sys.stderr.write(
+                f"error: {binary} not found — build first: "
+                f"cmake --build {args.build_dir} -j\n"
+            )
+            return 1
+        doc = run_bench(binary, args.min_time)
+        rows = [row_summary(b) for b in doc.get("benchmarks", [])]
+        entry = {"rows": rows}
+        if bench == "bench_sim_throughput":
+            entry["parallel_speedups"] = platform_speedups(rows)
+            ctx = doc.get("context", {})
+            snapshot["host"]["benchmark_num_cpus"] = ctx.get("num_cpus")
+            snapshot["host"]["library_build_type"] = ctx.get("library_build_type")
+        snapshot["benchmarks"][bench] = entry
+
+    with open(args.output, "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"wrote {args.output}")
+    for s in snapshot["benchmarks"]["bench_sim_throughput"].get("parallel_speedups", []):
+        print(f"  {s['name']}: {s['speedup_vs_serial']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
