@@ -16,6 +16,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "sched/registry.hpp"
@@ -57,8 +58,18 @@ int main() {
         sched::make_policy(policy_name, policy_config);
     std::cout << "policy: " << policy->name() << " (registry \"" << policy_name
               << "\")\n";
-    scenario::ScenarioRunner runner(platform, *policy, trace);
+    // Flight recorder: SYNPA_TRACE=1 (plus SYNPA_TRACE_FILE=out.json for a
+    // Chrome-trace export) records quantum boundaries, migrations,
+    // admissions/retirements and policy latency alongside the replay.
+    obs::Tracer tracer;
+    scenario::ScenarioRunner::Options run_opts;
+    run_opts.tracer = &tracer;
+    scenario::ScenarioRunner runner(platform, *policy, trace, run_opts);
     const scenario::ScenarioResult result = runner.run();
+    tracer.finish();
+    if (tracer.enabled() && !tracer.config().file.empty())
+        std::cout << "trace written to " << tracer.config().file << " (metrics CSV beside"
+                  << " it)\n";
 
     // 3. Replay: one line every few quanta.
     std::cout << "quantum  live queued util       timeline (#=busy thread)\n";

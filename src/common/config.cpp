@@ -1,28 +1,51 @@
 #include "common/config.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace synpa::common {
+namespace {
+
+/// True when `s` (past the parsed prefix) holds only trailing whitespace, so
+/// "8 " parses but "8x" and "abc" fail loudly.
+bool only_whitespace(const char* s) {
+    while (*s != '\0') {
+        if (!std::isspace(static_cast<unsigned char>(*s))) return false;
+        ++s;
+    }
+    return true;
+}
+
+[[noreturn]] void throw_malformed(const std::string& name, const char* value,
+                                  const char* expected) {
+    throw std::runtime_error("env knob " + name + "=\"" + value + "\" is not a valid " +
+                             expected);
+}
+
+}  // namespace
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
     const char* v = std::getenv(name.c_str());
     if (v == nullptr || *v == '\0') return fallback;
-    try {
-        return std::stoll(v);
-    } catch (const std::exception&) {
-        return fallback;
-    }
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || !only_whitespace(end) || errno == ERANGE)
+        throw_malformed(name, v, "integer");
+    return parsed;
 }
 
 double env_double(const std::string& name, double fallback) {
     const char* v = std::getenv(name.c_str());
     if (v == nullptr || *v == '\0') return fallback;
-    try {
-        return std::stod(v);
-    } catch (const std::exception&) {
-        return fallback;
-    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || !only_whitespace(end) || errno == ERANGE)
+        throw_malformed(name, v, "number");
+    return parsed;
 }
 
 std::string env_string(const std::string& name, const std::string& fallback) {

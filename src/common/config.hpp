@@ -8,7 +8,10 @@
 
 namespace synpa::common {
 
-/// Reads an environment variable; returns `fallback` when unset or invalid.
+/// Reads an environment variable; returns `fallback` when unset or empty.
+/// Malformed values (e.g. SYNPA_SIM_THREADS=abc, trailing garbage, overflow)
+/// throw std::runtime_error naming the knob and the offending value — a typo
+/// in a knob must fail loudly, not silently run the default configuration.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 double env_double(const std::string& name, double fallback);
 std::string env_string(const std::string& name, const std::string& fallback);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "sched/baselines.hpp"
 #include "sched/topology.hpp"
 
@@ -168,6 +170,36 @@ std::vector<std::vector<int>> SynpaPolicy::select_groups(std::span<const int> ta
     return sel.groups;
 }
 
+void SynpaPolicy::set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer != nullptr && tracer->enabled() ? tracer : nullptr;
+}
+
+void SynpaPolicy::trace_allocation(const sched::CoreAllocation& alloc) const {
+    if (tracer_ == nullptr || !tracer_->wants(obs::EventKind::kAllocation)) return;
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kAllocation;
+    e.quantum = tracer_->quantum();
+    e.detail = name();
+    double total_cost = 0.0;
+    for (std::size_t c = 0; c < alloc.size(); ++c) {
+        const sched::CoreGroup& g = alloc[c];
+        if (g.empty()) continue;
+        ++e.a;
+        const double cost = group_cost(g.members());
+        total_cost += cost;
+        e.detail += " c" + std::to_string(c) + "[";
+        for (int i = 0; i < g.occupancy(); ++i) {
+            if (i > 0) e.detail += ",";
+            e.detail += std::to_string(g[static_cast<std::size_t>(i)]);
+        }
+        char cost_buf[32];
+        std::snprintf(cost_buf, sizeof(cost_buf), "]=%.3f", cost);
+        e.detail += cost_buf;
+    }
+    e.value = total_cost;
+    tracer_->emit(std::move(e));
+}
+
 sched::CoreAllocation SynpaPolicy::reallocate(
     std::span<const sched::TaskObservation> observations) {
     if (observations.empty()) return {};
@@ -175,7 +207,11 @@ sched::CoreAllocation SynpaPolicy::reallocate(
     estimator_.observe(observations);
 
     const sched::TopologyView topo = sched::observed_topology(observations);
-    if (topo.chips <= 1) return allocate_chip(observations);
+    if (topo.chips <= 1) {
+        sched::CoreAllocation alloc = allocate_chip(observations);
+        trace_allocation(alloc);
+        return alloc;
+    }
 
     // Multi-chip Step 3 decomposes: pick each task's chip first — migrating
     // across chips only when the estimator's predicted benefit beats the
@@ -188,10 +224,12 @@ sched::CoreAllocation SynpaPolicy::reallocate(
     const sched::PairCost pair = [&](std::size_t u, std::size_t v) {
         return pair_cost(observations[u].task_id, observations[v].task_id);
     };
-    return sched::allocate_across_chips(
+    sched::CoreAllocation alloc = sched::allocate_across_chips(
         observations, topo, solo, pair, opts_.cross_chip_penalty,
         [this](std::span<const sched::TaskObservation> local,
                std::span<const std::size_t>) { return allocate_chip(local); });
+    trace_allocation(alloc);
+    return alloc;
 }
 
 sched::CoreAllocation SynpaPolicy::allocate_chip(

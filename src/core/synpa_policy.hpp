@@ -84,6 +84,7 @@ public:
         std::span<const sched::TaskObservation> observations) override;
     void on_task_replaced(int old_task_id, int new_task_id) override;
     void on_task_finished(int task_id) override;
+    void set_tracer(obs::Tracer* tracer) override;
 
     const SynpaEstimator& estimator() const noexcept { return estimator_; }
 
@@ -114,6 +115,11 @@ private:
     sched::CoreAllocation allocate_chip(
         std::span<const sched::TaskObservation> observations);
 
+    /// Emits a kAllocation event for the decided grouping (group membership
+    /// and the predicted per-group costs).  The extra estimator passes run
+    /// only when the tracer wants allocation events.
+    void trace_allocation(const sched::CoreAllocation& alloc) const;
+
     /// Objective-folded candidate costs.  Under kTotalSlowdown these are
     /// exactly the estimator's pair/solo/group weights (the bit-exact
     /// golden path); other objectives fold the per-member slowdowns.
@@ -126,6 +132,7 @@ private:
     SynpaEstimator estimator_;
     matching::BlossomMatcher blossom_;
     matching::SubsetDpMatcher subset_dp_;
+    obs::Tracer* tracer_ = nullptr;  ///< flight recorder (not owned)
 };
 
 }  // namespace synpa::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -12,6 +13,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/registry.hpp"
 #include "workloads/groups.hpp"
 
@@ -203,15 +205,31 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
         }
     };
 
+    // Per-cell flight recording: with SYNPA_TRACE and a SYNPA_TRACE_FILE
+    // set, every repetition gets its own tracer and trace file (tagged
+    // c<config>w<workload>p<policy>r<rep>), so parallel cells never share a
+    // recorder and memoized artifacts stay byte-identical.
+    const obs::TraceConfig trace_cfg = obs::TraceConfig::from_env();
+
     // ---- schedule every repetition over the persistent pool ---------------
     for (const auto& cell_ptr : cells) {
         CellState* cell = cell_ptr.get();
         for (int rep = 0; rep < reps; ++rep) {
-            pool_.submit([this, &campaign, cell, rep, &emit_ready] {
+            pool_.submit([this, &campaign, cell, rep, &emit_ready, &trace_cfg] {
                 const workloads::MethodologyOptions& opts = campaign.methodology;
                 workloads::MethodologyOptions rep_opts = opts;
                 rep_opts.record_traces = opts.record_traces && rep == 0;
                 rep_opts.threads = 1;  // parallelism lives at the rep grain
+                std::unique_ptr<obs::Tracer> tracer;
+                if (trace_cfg.enabled && !trace_cfg.file.empty()) {
+                    char tag[64];
+                    std::snprintf(tag, sizeof(tag), "c%zuw%zup%zur%d", cell->config_index,
+                                  cell->workload_index, cell->policy_index, rep);
+                    obs::TraceConfig cell_trace = trace_cfg;
+                    cell_trace.file = obs::derive_trace_path(trace_cfg.file, tag);
+                    tracer = std::make_unique<obs::Tracer>(std::move(cell_trace));
+                    rep_opts.tracer = tracer.get();
+                }
                 const auto prepared = cache_->prepared(*cell->spec, cell->plan->cfg, opts, rep);
                 const std::uint64_t rep_seed = common::derive_key(
                     opts.seed, common::hash_string(cell->spec->name), 0x9001,
@@ -226,6 +244,7 @@ CampaignResult CampaignRunner::run(const Campaign& campaign,
                     uarch::nested_sim_threads(cell_cfg.sim_threads, pool_.size());
                 cell->runs[static_cast<std::size_t>(rep)] = workloads::run_workload_once(
                     *prepared, cell_cfg, *pol, rep_opts);
+                if (tracer) tracer->finish();
                 cell->run_metrics[static_cast<std::size_t>(rep)] =
                     metrics::compute_metrics(cell->runs[static_cast<std::size_t>(rep)]);
                 if (cell->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "workloads/groups.hpp"
 
 namespace synpa::exp {
@@ -148,11 +150,18 @@ ScenarioGridResult ScenarioGridRunner::run(
         }
     };
 
+    // Per-cell flight recording: with SYNPA_TRACE and a SYNPA_TRACE_FILE
+    // set, every repetition gets its own tracer and trace file (tagged
+    // c<config>s<scenario>p<policy>r<rep>), so parallel cells never share a
+    // recorder and memoized traces stay byte-identical.
+    const obs::TraceConfig trace_cfg = obs::TraceConfig::from_env();
+
     // ---- schedule every repetition over the persistent pool ---------------
     for (const auto& cell_ptr : cells) {
         CellState* cell = cell_ptr.get();
         for (int rep = 0; rep < reps; ++rep) {
-            pool_.submit([this, &campaign, &policies, &artifacts, cell, rep, &emit_ready] {
+            pool_.submit([this, &campaign, &policies, &artifacts, cell, rep, &emit_ready,
+                          &trace_cfg] {
                 const uarch::SimConfig& cfg = campaign.configs[cell->config_index];
                 // Repetitions re-sample the arrival process with a derived
                 // seed; rep 0 keeps the spec verbatim so its memoized trace
@@ -174,11 +183,22 @@ ScenarioGridResult ScenarioGridRunner::run(
                 cell_cfg.sim_threads =
                     uarch::nested_sim_threads(cfg.sim_threads, pool_.size());
                 uarch::Platform platform(cell_cfg);
+                std::unique_ptr<obs::Tracer> tracer;
+                if (trace_cfg.enabled && !trace_cfg.file.empty()) {
+                    char tag[64];
+                    std::snprintf(tag, sizeof(tag), "c%zus%zup%zur%d", cell->config_index,
+                                  cell->scenario_index, cell->policy_index, rep);
+                    obs::TraceConfig cell_trace = trace_cfg;
+                    cell_trace.file = obs::derive_trace_path(trace_cfg.file, tag);
+                    tracer = std::make_unique<obs::Tracer>(std::move(cell_trace));
+                }
                 scenario::ScenarioRunner runner(
                     platform, *policy, *trace,
                     {.max_quanta = campaign.max_quanta,
-                     .record_timeline = campaign.record_timelines});
+                     .record_timeline = campaign.record_timelines,
+                     .tracer = tracer.get()});
                 cell->runs[static_cast<std::size_t>(rep)] = runner.run();
+                if (tracer) tracer->finish();
                 if (cell->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
                 // Last repetition of this cell: finalize and stream it out.
                 auto done = std::make_unique<ScenarioCellResult>();

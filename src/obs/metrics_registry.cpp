@@ -1,0 +1,148 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace synpa::obs {
+
+void LogHistogram::record(std::uint64_t value) noexcept {
+    const std::size_t bucket = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+    ++buckets_[bucket];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double LogHistogram::mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+double LogHistogram::percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // The edge quantiles are exact (the extrema are tracked outside the
+    // buckets); interior ones interpolate within their bucket.
+    if (p == 0.0) return static_cast<double>(min());
+    if (p == 1.0) return static_cast<double>(max_);
+    // Order-statistic rank with linear interpolation, like common::percentile.
+    const double rank = p * static_cast<double>(count_ - 1);
+    std::uint64_t below = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t in_bucket = buckets_[b];
+        if (in_bucket == 0) continue;
+        const double last = static_cast<double>(below + in_bucket - 1);
+        if (rank > last) {
+            below += in_bucket;
+            continue;
+        }
+        // Nominal bucket bounds, clamped to the exact extrema so the edge
+        // quantiles are tight.
+        double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+        double hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+        lo = std::max(lo, static_cast<double>(min()));
+        hi = std::min(hi, static_cast<double>(max_));
+        if (hi < lo) hi = lo;
+        const double frac =
+            in_bucket > 1
+                ? (rank - static_cast<double>(below)) / static_cast<double>(in_bucket - 1)
+                : 0.0;
+        return lo + frac * (hi - lo);
+    }
+    return static_cast<double>(max_);
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(std::string_view name, Kind kind) {
+    const auto it = slots_.find(std::string(name));
+    if (it != slots_.end()) {
+        if (it->second.kind != kind)
+            throw std::logic_error("MetricsRegistry: instrument '" + std::string(name) +
+                                   "' already registered with a different kind");
+        return it->second;
+    }
+    Slot s{kind, 0};
+    switch (kind) {
+        case Kind::kCounter:
+            s.index = counters_.size();
+            counters_.push_back(std::make_unique<Counter>());
+            break;
+        case Kind::kGauge:
+            s.index = gauges_.size();
+            gauges_.push_back(std::make_unique<Gauge>());
+            break;
+        case Kind::kHistogram:
+            s.index = histograms_.size();
+            histograms_.push_back(std::make_unique<LogHistogram>());
+            break;
+    }
+    order_.emplace_back(name);
+    return slots_.emplace(std::string(name), s).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    return *counters_[slot(name, Kind::kCounter).index];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    return *gauges_[slot(name, Kind::kGauge).index];
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name) {
+    return *histograms_[slot(name, Kind::kHistogram).index];
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const noexcept {
+    const auto it = slots_.find(std::string(name));
+    return it != slots_.end() && it->second.kind == Kind::kCounter
+               ? counters_[it->second.index].get()
+               : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const noexcept {
+    const auto it = slots_.find(std::string(name));
+    return it != slots_.end() && it->second.kind == Kind::kGauge
+               ? gauges_[it->second.index].get()
+               : nullptr;
+}
+
+const LogHistogram* MetricsRegistry::find_histogram(std::string_view name) const noexcept {
+    const auto it = slots_.find(std::string(name));
+    return it != slots_.end() && it->second.kind == Kind::kHistogram
+               ? histograms_[it->second.index].get()
+               : nullptr;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+    os << "name,kind,count,value,mean,p50,p90,p99,min,max\n";
+    for (const std::string& name : order_) {
+        const Slot& s = slots_.at(name);
+        switch (s.kind) {
+            case Kind::kCounter:
+                os << name << ",counter,," << counters_[s.index]->value() << ",,,,,,\n";
+                break;
+            case Kind::kGauge:
+                os << name << ",gauge,," << gauges_[s.index]->value() << ",,,,,,\n";
+                break;
+            case Kind::kHistogram: {
+                const LogHistogram& h = *histograms_[s.index];
+                os << name << ",histogram," << h.count() << ",," << h.mean() << ','
+                   << h.percentile(0.50) << ',' << h.percentile(0.90) << ','
+                   << h.percentile(0.99) << ',' << h.min() << ',' << h.max() << "\n";
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace synpa::obs

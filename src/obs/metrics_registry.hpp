@@ -1,0 +1,122 @@
+// Named run-time metrics for the flight recorder: counters, gauges, and
+// log2-bucketed histograms, registered by name and iterated in registration
+// order so exports are deterministic.
+//
+// The histogram buckets by std::bit_width (bucket 0 holds the value 0,
+// bucket b >= 1 holds [2^(b-1), 2^b - 1]), keeps exact min/max/sum, and
+// merges associatively — per-shard histograms recorded independently can be
+// folded together after a barrier and report the same percentiles as one
+// histogram fed serially (asserted in tests/test_obs.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace synpa::obs {
+
+/// Monotonic event count.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+    std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins sampled value.
+class Gauge {
+public:
+    void set(double value) noexcept { value_ = value; }
+    double value() const noexcept { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram over unsigned samples (typically nanoseconds).
+class LogHistogram {
+public:
+    /// Bucket b holds values with bit_width b: 0, then [2^(b-1), 2^b - 1]
+    /// for b in [1, 64].
+    static constexpr std::size_t kBuckets = 65;
+
+    void record(std::uint64_t value) noexcept;
+    /// Folds another histogram in (associative and commutative).
+    void merge(const LogHistogram& other) noexcept;
+
+    std::uint64_t count() const noexcept { return count_; }
+    /// Exact extrema (0 when empty).
+    std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+    std::uint64_t max() const noexcept { return max_; }
+    double mean() const noexcept;
+
+    /// The p-quantile (p in [0, 1]) with linear interpolation inside the
+    /// bucket the rank lands in; bucket bounds are clamped to the exact
+    /// min/max, so percentile(0) == min() and percentile(1) == max().
+    /// Returns 0 for an empty histogram.
+    double percentile(double p) const noexcept;
+
+    std::span<const std::uint64_t> buckets() const noexcept {
+        return {buckets_.data(), buckets_.size()};
+    }
+
+private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+/// Name-keyed instrument registry.  Instruments are created on first use
+/// and returned by stable reference (deque-backed); the CSV export walks
+/// them in registration order, so two identical runs export identical
+/// files.  Not thread-safe — each Tracer owns one registry and all updates
+/// happen on the coordinating thread (shards record into their own rings).
+class MetricsRegistry {
+public:
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    LogHistogram& histogram(std::string_view name);
+
+    /// Read-only lookups; nullptr when the instrument was never touched.
+    const Counter* find_counter(std::string_view name) const noexcept;
+    const Gauge* find_gauge(std::string_view name) const noexcept;
+    const LogHistogram* find_histogram(std::string_view name) const noexcept;
+
+    std::size_t size() const noexcept { return order_.size(); }
+
+    /// One row per instrument, registration order:
+    /// name,kind,count,value,mean,p50,p90,p99,min,max (histogram columns
+    /// empty for counters/gauges).
+    void write_csv(std::ostream& os) const;
+
+private:
+    enum class Kind { kCounter, kGauge, kHistogram };
+    struct Slot {
+        Kind kind;
+        std::size_t index;
+    };
+
+    std::unordered_map<std::string, Slot> slots_;
+    std::vector<std::string> order_;  ///< registration-ordered names
+    // deque-like stable storage: instruments are small, so vectors of
+    // unique chunks are overkill — reserve-free deques via std::vector of
+    // values would invalidate references on growth, hence indirection.
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Gauge>> gauges_;
+    std::vector<std::unique_ptr<LogHistogram>> histograms_;
+
+    Slot& slot(std::string_view name, Kind kind);
+};
+
+}  // namespace synpa::obs

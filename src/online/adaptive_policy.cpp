@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/config.hpp"
+#include "obs/trace.hpp"
 
 namespace synpa::online {
 
@@ -32,6 +33,11 @@ AdaptiveSynpaPolicy::AdaptiveSynpaPolicy(model::InterferenceModel model,
       opts_(online),
       detector_(online.detector),
       trainer_(std::move(model), {.prior_strength = online.prior_strength}) {}
+
+void AdaptiveSynpaPolicy::set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer != nullptr && tracer->enabled() ? tracer : nullptr;
+    inner_.set_tracer(tracer);  // allocation events come from the inner policy
+}
 
 std::string AdaptiveSynpaPolicy::name() const {
     // "synpa-adaptive", with the inner selector/objective suffixes kept
@@ -71,6 +77,14 @@ sched::CoreAllocation AdaptiveSynpaPolicy::reallocate(
         }
         if (detector_.observe(o.task_id, o.breakdown.ipc(), o.breakdown.fractions())) {
             ++phase_changes_;
+            if (tracer_ != nullptr && tracer_->wants(obs::EventKind::kPhaseAlarm)) {
+                obs::TraceEvent e;
+                e.kind = obs::EventKind::kPhaseAlarm;
+                e.quantum = tracer_->quantum();
+                e.task = o.task_id;
+                e.core = o.core;
+                tracer_->emit(std::move(e));
+            }
             // The solo reference describes the *previous* phase: harvesting
             // against it would misalign every sample until it is renewed.
             // The estimator's own estimate is left alone — its EMA halves
@@ -181,10 +195,20 @@ void AdaptiveSynpaPolicy::maybe_refit() {
         const model::InterferenceModel candidate = trainer_.fit();
         // Do-no-harm gate: adopt only when the candidate predicts the
         // held-out samples substantially better than the running model.
-        if (holdout_error(candidate, validation_) <=
-            opts_.adopt_factor * holdout_error(inner_.estimator().model(), validation_)) {
+        const double cand_err = holdout_error(candidate, validation_);
+        const double incumbent_err = holdout_error(inner_.estimator().model(), validation_);
+        const bool adopt = cand_err <= opts_.adopt_factor * incumbent_err;
+        if (adopt) {
             inner_.set_model(candidate);
             ++refits_;
+        }
+        if (tracer_ != nullptr && tracer_->wants(obs::EventKind::kModelRefit)) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kModelRefit;
+            e.quantum = tracer_->quantum();
+            e.a = adopt ? 1 : 0;
+            e.value = cand_err;
+            tracer_->emit(std::move(e));
         }
     } catch (const std::runtime_error&) {
         // Not enough independent evidence yet (singular normal equations

@@ -79,6 +79,7 @@ public:
         std::span<const sched::TaskObservation> observations) override;
     void on_task_replaced(int old_task_id, int new_task_id) override;
     void on_task_finished(int task_id) override;
+    void set_tracer(obs::Tracer* tracer) override;
 
     // sched::OnlinePolicy
     std::uint64_t phase_changes() const override { return phase_changes_; }
@@ -116,6 +117,7 @@ private:
 
     core::SynpaPolicy inner_;
     OnlineOptions opts_;
+    obs::Tracer* tracer_ = nullptr;  ///< flight recorder (not owned)
     PhaseDetector detector_;
     IncrementalTrainer trainer_;
     std::unordered_map<int, SoloReference> references_;

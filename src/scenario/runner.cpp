@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "apps/spec_suite.hpp"
+#include "obs/trace.hpp"
 #include "sched/quantum_loop.hpp"
 #include "sched/thread_manager.hpp"
 
@@ -19,6 +20,14 @@ double ScenarioResult::mean_utilization() const noexcept {
 ScenarioRunner::ScenarioRunner(uarch::Platform& platform, sched::AllocationPolicy& policy,
                                const ScenarioTrace& trace, Options opts)
     : platform_(platform), policy_(policy), trace_(trace), opts_(opts) {
+    // Null out a disabled tracer once; closed scenarios re-wire through the
+    // delegated ThreadManager instead.
+    if (opts_.tracer != nullptr && opts_.tracer->enabled() &&
+        trace_.spec.process != ArrivalProcess::kClosed) {
+        tracer_ = opts_.tracer;
+        platform_.set_tracer(tracer_);
+        policy_.set_tracer(tracer_);
+    }
     if (trace_.spec.process == ArrivalProcess::kClosed &&
         trace_.tasks.size() != static_cast<std::size_t>(platform_.hw_contexts()))
         throw std::invalid_argument(
@@ -59,6 +68,7 @@ ScenarioResult ScenarioRunner::run_closed() {
         platform_, policy_, specs,
         {.max_quanta = opts_.max_quanta,
          .record_traces = opts_.record_timeline,
+         .tracer = opts_.tracer,
          .on_quantum = opts_.on_quantum});
     const sched::RunResult run = manager.run();
 
@@ -150,6 +160,15 @@ void ScenarioRunner::admit(std::uint64_t quantum) {
             where = {c, slot};
         }
         platform_.bind(*lv.task, where);
+        if (tracer_ != nullptr && tracer_->wants(obs::EventKind::kAdmission)) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kAdmission;
+            e.quantum = quantum;
+            e.task = lv.task->id();
+            e.core = where.core;
+            e.detail = plan.app_name;
+            tracer_->emit(std::move(e));
+        }
         live_.push_back(std::move(lv));
         ++next_plan_;
     }
@@ -178,8 +197,24 @@ ScenarioResult ScenarioRunner::run_open() {
         if (live_.empty() && next_plan_ >= trace_.tasks.size()) break;  // drained
 
         const int queued = queued_at(quantum);
+
+        // Flight recorder: stamp the boundary and time the four phases with
+        // host wall-clock (the "observe" bucket covers observe + retire).
+        // Tracing only reads simulated state — traced runs are bit-identical
+        // to untraced ones.
+        const std::uint64_t q = quantum;
+        obs::QuantumStats qstats;
+        qstats.quantum = q;
+        qstats.live = static_cast<int>(live_.size());
+        qstats.queued = queued;
+        qstats.utilization =
+            static_cast<double>(live_.size()) / static_cast<double>(capacity);
+        obs::PhaseStopwatch sw(tracer_ != nullptr);
+        if (tracer_ != nullptr) tracer_->begin_quantum(q, qstats.live, queued);
+
         platform_.run_quantum();
         ++quantum;
+        qstats.simulate_us = sw.lap_us();
 
         if (live_.empty()) {
             // Idle gap before the next arrival.
@@ -187,6 +222,7 @@ ScenarioResult ScenarioRunner::run_open() {
                 result.timeline.push_back({.quantum = quantum - 1,
                                            .queued = queued,
                                            .migrations = result.migrations});
+            if (tracer_ != nullptr) tracer_->end_quantum(qstats);
             continue;
         }
 
@@ -243,6 +279,16 @@ ScenarioResult ScenarioRunner::run_open() {
 
                 const int id = lv.task->id();
                 rec.chip_id = platform_.chip_of_core(platform_.placement(id).core);
+                if (tracer_ != nullptr && tracer_->wants(obs::EventKind::kRetirement)) {
+                    obs::TraceEvent e;
+                    e.kind = obs::EventKind::kRetirement;
+                    e.quantum = q;
+                    e.task = id;
+                    e.core = platform_.placement(id).core;
+                    e.value = rec.finish_quantum;
+                    e.detail = plan.app_name;
+                    tracer_->emit(std::move(e));
+                }
                 platform_.unbind(id);
                 platform_.forget_task(id);  // retired for good; ids never reused
                 policy_.on_task_finished(id);
@@ -255,10 +301,13 @@ ScenarioResult ScenarioRunner::run_open() {
             ++i;
         }
 
+        qstats.observe_us = sw.lap_us();
+
         // Let the policy re-pair the survivors (partial allocations allowed;
         // a short answer means trailing cores idle).
         if (!live_.empty()) {
             sched::CoreAllocation alloc = policy_.reallocate(obs);
+            qstats.decide_us = sw.lap_us();
             if (alloc.size() > static_cast<std::size_t>(platform_.core_count()))
                 throw std::runtime_error("ScenarioRunner: allocation exceeds core count");
             alloc.resize(static_cast<std::size_t>(platform_.core_count()));
@@ -267,10 +316,14 @@ ScenarioResult ScenarioRunner::run_open() {
             for (Live& lv : live_) tasks.push_back(lv.task.get());
             const sched::BindStats stats =
                 sched::bind_allocation(platform_, alloc, tasks,
-                                       /*require_full_groups=*/false);
+                                       /*require_full_groups=*/false, tracer_);
             result.migrations += stats.migrations;
             result.cross_chip_migrations += stats.cross_chip;
+            qstats.bind_us = sw.lap_us();
+            qstats.migrations = stats.migrations;
+            qstats.cross_chip = stats.cross_chip;
         }
+        if (tracer_ != nullptr) tracer_->end_quantum(qstats);
         if (opts_.on_quantum) opts_.on_quantum(platform_);
     }
 

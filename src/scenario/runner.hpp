@@ -80,6 +80,11 @@ public:
     struct Options {
         std::uint64_t max_quanta = 20'000;  ///< safety cap
         bool record_timeline = true;
+        /// Flight recorder (not owned; may be null or disabled).  Closed
+        /// scenarios hand it to the delegated ThreadManager; the open
+        /// driver stamps quantum boundaries, phase wall-clock, and
+        /// admission/retirement/migration events itself.
+        obs::Tracer* tracer = nullptr;
         /// Invariant hook for the property suite: called after every
         /// quantum's rebind, while the placement is live.
         std::function<void(const uarch::Platform&)> on_quantum{};
@@ -114,6 +119,7 @@ private:
     sched::AllocationPolicy& policy_;
     const ScenarioTrace& trace_;
     Options opts_;
+    obs::Tracer* tracer_ = nullptr;  ///< opts_.tracer when enabled, else null
     std::vector<Live> live_;       ///< admission order
     std::size_t next_plan_ = 0;    ///< first not-yet-admitted plan index
     int next_task_id_ = 1;

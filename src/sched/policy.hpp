@@ -26,6 +26,10 @@
 #include "pmu/counters.hpp"
 #include "uarch/sim_config.hpp"
 
+namespace synpa::obs {
+class Tracer;
+}  // namespace synpa::obs
+
 namespace synpa::sched {
 
 /// Sentinel for an empty SMT slot in a CoreGroup.
@@ -128,6 +132,12 @@ public:
     /// holding per-task state should drop it; the id is never reused within
     /// a run.
     virtual void on_task_finished(int task_id);
+
+    /// Observability hook: the driver attaches its flight recorder before
+    /// the run so instrumented policies (SYNPA, the online wrapper) can emit
+    /// allocation/alarm/refit events.  The tracer outlives the run; nullptr
+    /// detaches.  The default ignores it — tracing never changes decisions.
+    virtual void set_tracer(obs::Tracer* tracer) { (void)tracer; }
 };
 
 /// Optional side-interface for policies that adapt online — detecting task

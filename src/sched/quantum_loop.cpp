@@ -4,12 +4,13 @@
 #include <unordered_map>
 
 #include "model/categories.hpp"
+#include "obs/trace.hpp"
 
 namespace synpa::sched {
 
 BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc,
                           std::span<apps::AppInstance* const> live,
-                          bool require_full_groups) {
+                          bool require_full_groups, obs::Tracer* tracer) {
     if (alloc.size() != static_cast<std::size_t>(platform.core_count()))
         throw std::runtime_error("bind_allocation: allocation does not cover every core");
     const int ways = platform.config().smt_ways;
@@ -48,17 +49,30 @@ BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc
     // Count migrations (core changes, with the cross-chip subset) before
     // rebinding.
     BindStats stats;
+    const bool trace = tracer != nullptr && tracer->wants(obs::EventKind::kMigration);
     for (apps::AppInstance* task : live) {
         const int id = task->id();
         const auto it = target.find(id);
         if (it == target.end())
             throw std::runtime_error("bind_allocation: allocation missing a live task");
         if (!platform.is_bound(id)) continue;
-        const int old_core = platform.placement(id).core;
+        const uarch::CpuSlot old_slot = platform.placement(id);
+        const int old_core = old_slot.core;
+        const bool cross =
+            platform.chip_of_core(old_core) != platform.chip_of_core(it->second.core);
         if (old_core != it->second.core) {
             ++stats.migrations;
-            if (platform.chip_of_core(old_core) != platform.chip_of_core(it->second.core))
-                ++stats.cross_chip;
+            if (cross) ++stats.cross_chip;
+        }
+        if (trace && (old_core != it->second.core || old_slot.slot != it->second.slot)) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kMigration;
+            e.quantum = tracer->quantum();
+            e.task = id;
+            e.core = it->second.core;
+            e.b = old_core;
+            e.a = old_core == it->second.core ? 0 : (cross ? 2 : 1);
+            tracer->emit(std::move(e));
         }
     }
 

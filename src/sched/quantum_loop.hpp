@@ -18,6 +18,10 @@
 #include "sched/policy.hpp"
 #include "uarch/platform.hpp"
 
+namespace synpa::obs {
+class Tracer;
+}  // namespace synpa::obs
+
 namespace synpa::sched {
 
 /// What one bind_allocation application did to the placement.
@@ -42,10 +46,12 @@ struct BindStats {
 /// migrations this application caused, split into total core changes and
 /// the cross-chip subset.  With `require_full_groups` every core must run
 /// exactly smt_ways threads (the classic closed system keeps every chip
-/// saturated).
+/// saturated).  When `tracer` wants migration events, each moved task emits
+/// one (slot moves included, though they stay free and uncounted in the
+/// returned BindStats).
 BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc,
                           std::span<apps::AppInstance* const> live,
-                          bool require_full_groups);
+                          bool require_full_groups, obs::Tracer* tracer = nullptr);
 
 /// Builds one task's post-quantum observation: global placement (core and
 /// chip), co-runners, counter deltas against `prev_bank`, and the

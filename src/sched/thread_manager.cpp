@@ -6,6 +6,7 @@
 
 #include "apps/spec_suite.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "sched/quantum_loop.hpp"
 
 namespace synpa::sched {
@@ -15,6 +16,13 @@ ThreadManager::ThreadManager(uarch::Platform& platform, AllocationPolicy& policy
     : platform_(platform), policy_(policy), opts_(opts) {
     if (specs.size() != static_cast<std::size_t>(platform_.hw_contexts()))
         throw std::invalid_argument("ThreadManager: task count must fill the platform");
+    // Null out a disabled tracer once, so every per-quantum site pays a
+    // single pointer test.
+    if (opts_.tracer != nullptr && opts_.tracer->enabled()) {
+        tracer_ = opts_.tracer;
+        platform_.set_tracer(tracer_);
+        policy_.set_tracer(tracer_);
+    }
     slots_.reserve(specs.size());
     for (const TaskSpec& spec : specs) {
         Slot slot;
@@ -32,7 +40,8 @@ void ThreadManager::apply_allocation(const CoreAllocation& alloc) {
     std::vector<apps::AppInstance*> live;
     live.reserve(slots_.size());
     for (Slot& s : slots_) live.push_back(s.task.get());
-    bind_stats_ += bind_allocation(platform_, alloc, live, /*require_full_groups=*/true);
+    bind_stats_ +=
+        bind_allocation(platform_, alloc, live, /*require_full_groups=*/true, tracer_);
 }
 
 RunResult ThreadManager::run() {
@@ -50,8 +59,19 @@ RunResult ThreadManager::run() {
     std::size_t finished = 0;
 
     while (finished < slots_.size() && quantum < opts_.max_quanta) {
+        // Flight recorder: stamp the boundary and time the four phases with
+        // host wall-clock.  Tracing only reads simulated state, so traced
+        // runs stay bit-identical to untraced ones.
+        const std::uint64_t q = quantum;
+        obs::QuantumStats qs;
+        obs::PhaseStopwatch sw(tracer_ != nullptr);
+        if (tracer_ != nullptr)
+            tracer_->begin_quantum(q, static_cast<int>(slots_.size()), /*queued=*/0);
+        const BindStats binds_before = bind_stats_;
+
         platform_.run_quantum();
         ++quantum;
+        qs.simulate_us = sw.lap_us();
 
         // Observe every slot.  Counter banks are cumulative per instance;
         // per-slot snapshots give the quantum deltas (PerfSession offers the
@@ -133,6 +153,25 @@ RunResult ThreadManager::run() {
                     platform_.bind(*slot.task, where);
                     platform_.forget_task(old_id);  // the old id never returns
                     policy_.on_task_replaced(old_id, slot.task->id());
+                    if (tracer_ != nullptr && tracer_->wants(obs::EventKind::kRetirement)) {
+                        obs::TraceEvent e;
+                        e.kind = obs::EventKind::kRetirement;
+                        e.quantum = q;
+                        e.task = old_id;
+                        e.core = o.core;
+                        e.value = out.finish_quantum;
+                        e.detail = slot.spec.app_name;
+                        tracer_->emit(std::move(e));
+                    }
+                    if (tracer_ != nullptr && tracer_->wants(obs::EventKind::kAdmission)) {
+                        obs::TraceEvent e;
+                        e.kind = obs::EventKind::kAdmission;
+                        e.quantum = q;
+                        e.task = slot.task->id();
+                        e.core = where.core;
+                        e.detail = slot.spec.app_name;
+                        tracer_->emit(std::move(e));
+                    }
                     replaced[old_id] = slot.task->id();
                     slot.prev_bank = pmu::CounterBank{};
                     slot.insts_at_last_quantum = 0;
@@ -144,7 +183,19 @@ RunResult ThreadManager::run() {
             slot.insts_at_last_quantum = task.insts_retired();
         }
 
-        if (finished >= slots_.size()) break;
+        qs.observe_us = sw.lap_us();
+
+        if (finished >= slots_.size()) {
+            // Final quantum: no decide/bind happens, but the sample still
+            // lands in the recorder so the trace covers the whole run.
+            if (tracer_ != nullptr) {
+                qs.quantum = q;
+                qs.live = static_cast<int>(slots_.size());
+                qs.utilization = 1.0;
+                tracer_->end_quantum(qs);
+            }
+            break;
+        }
 
         // Patch observations for replaced tasks: the fresh instance inherits
         // the slot, so the policy sees live ids (and no dangling pointers).
@@ -163,7 +214,19 @@ RunResult ThreadManager::run() {
                     o.corunner_task_ids.empty() ? -1 : o.corunner_task_ids.front();
             }
         }
-        apply_allocation(policy_.reallocate(obs));
+        const CoreAllocation next = policy_.reallocate(obs);
+        qs.decide_us = sw.lap_us();
+        apply_allocation(next);
+        qs.bind_us = sw.lap_us();
+        if (tracer_ != nullptr) {
+            qs.quantum = q;
+            qs.live = static_cast<int>(slots_.size());
+            // The closed system keeps every hardware context busy.
+            qs.utilization = 1.0;
+            qs.migrations = bind_stats_.migrations - binds_before.migrations;
+            qs.cross_chip = bind_stats_.cross_chip - binds_before.cross_chip;
+            tracer_->end_quantum(qs);
+        }
         if (opts_.on_quantum) opts_.on_quantum(platform_);
     }
 

@@ -77,6 +77,11 @@ public:
     struct Options {
         std::uint64_t max_quanta = 20'000;  ///< safety cap
         bool record_traces = true;
+        /// Flight recorder (not owned; may be null or disabled).  The
+        /// manager stamps quantum boundaries and phase wall-clock, emits
+        /// admission/retirement/migration events, and attaches the tracer
+        /// to the platform and policy for their own event sites.
+        obs::Tracer* tracer = nullptr;
         /// Invariant hook for the property suite: called after every
         /// quantum's rebind, while the placement is live.
         std::function<void(const uarch::Platform&)> on_quantum{};
@@ -112,6 +117,7 @@ private:
     uarch::Platform& platform_;
     AllocationPolicy& policy_;
     Options opts_;
+    obs::Tracer* tracer_ = nullptr;  ///< opts_.tracer when enabled, else null
     std::vector<Slot> slots_;
     int next_task_id_ = 1;
     BindStats bind_stats_;

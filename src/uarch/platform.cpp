@@ -1,8 +1,11 @@
 #include "uarch/platform.hpp"
 
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <string>
+
+#include "obs/trace.hpp"
 
 namespace synpa::uarch {
 
@@ -66,17 +69,49 @@ std::vector<apps::AppInstance*> Platform::bound_tasks() const {
     return out;
 }
 
+void Platform::set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer != nullptr && tracer->enabled() ? tracer : nullptr;
+    if (tracer_ != nullptr) tracer_->prepare_chips(chip_count());
+}
+
 void Platform::run_quantum() {
+    const bool trace_chips =
+        tracer_ != nullptr && tracer_->wants(obs::EventKind::kChipQuantum);
+    // One chip's traced quantum: the shard measures its own wall-clock and
+    // writes only its chip's ring — no shared mutable state before the
+    // barrier (the coordinator merges rings after the join, in ascending
+    // chip order, so traces are identical at every SYNPA_SIM_THREADS).
+    const auto run_chip_traced = [this](int c) {
+        const auto start = std::chrono::steady_clock::now();
+        chips_[static_cast<std::size_t>(c)]->run_quantum();
+        const auto stop = std::chrono::steady_clock::now();
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kChipQuantum;
+        e.quantum = quanta_;
+        e.chip = c;
+        e.value = std::chrono::duration<double, std::micro>(stop - start).count();
+        tracer_->emit_chip(c, std::move(e));
+    };
     if (engine_) {
         // Fork/join: each chip's quantum runs on one shard; the barrier
         // inside run_chips completes before any platform-level state (or
         // any driver observe/bind code) runs.  Chip order within a shard
         // is ascending, so execution only differs from the serial loop by
         // interleaving across chips that share no state.
-        engine_->run_chips([this](int c) { chips_[static_cast<std::size_t>(c)]->run_quantum(); });
+        if (trace_chips) {
+            engine_->run_chips(run_chip_traced);
+        } else {
+            engine_->run_chips(
+                [this](int c) { chips_[static_cast<std::size_t>(c)]->run_quantum(); });
+        }
     } else {
-        for (const auto& chip : chips_) chip->run_quantum();
+        if (trace_chips) {
+            for (int c = 0; c < chip_count(); ++c) run_chip_traced(c);
+        } else {
+            for (const auto& chip : chips_) chip->run_quantum();
+        }
     }
+    if (trace_chips) tracer_->merge_chip_events();
     now_ += cfg_.cycles_per_quantum;
     ++quanta_;
 }

@@ -37,6 +37,10 @@
 #include "uarch/parallel_engine.hpp"
 #include "uarch/sim_config.hpp"
 
+namespace synpa::obs {
+class Tracer;
+}  // namespace synpa::obs
+
 namespace synpa::uarch {
 
 class Platform : public pmu::CounterSource {
@@ -96,6 +100,13 @@ public:
     /// Host threads a quantum actually uses (1 = serial path).
     int sim_shards() const noexcept { return engine_ ? engine_->shard_count() : 1; }
 
+    /// Attaches the drivers' flight recorder (not owned; nullptr detaches).
+    /// With tracing on, run_quantum times each chip's quantum with host
+    /// wall-clock: shards write their own per-chip rings during the
+    /// quantum and the coordinator merges them after the barrier, so the
+    /// trace stream is identical at every SYNPA_SIM_THREADS.
+    void set_tracer(obs::Tracer* tracer);
+
     /// Cycles simulated so far.
     std::uint64_t now() const noexcept { return now_; }
     /// Quanta completed so far.
@@ -116,6 +127,8 @@ private:
     /// Chip-sharded quantum execution; null on the serial path
     /// (sim_threads <= 1 or a single chip).
     std::unique_ptr<ParallelQuantumEngine> engine_;
+    /// Flight recorder (not owned); null when detached or disabled.
+    obs::Tracer* tracer_ = nullptr;
     /// Task id -> chip it last ran on; survives unbind and drives the
     /// cross-chip warmup.  Flat (id-indexed): probed for every live task
     /// every quantum through bind/placement/task_counters.

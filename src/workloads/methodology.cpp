@@ -91,9 +91,10 @@ sched::RunResult run_workload_once(const PreparedWorkload& prepared,
                                    sched::AllocationPolicy& policy,
                                    const MethodologyOptions& opts) {
     uarch::Platform platform(cfg);
-    sched::ThreadManager manager(
-        platform, policy, prepared.tasks,
-        {.max_quanta = opts.max_quanta, .record_traces = opts.record_traces});
+    sched::ThreadManager manager(platform, policy, prepared.tasks,
+                                 {.max_quanta = opts.max_quanta,
+                                  .record_traces = opts.record_traces,
+                                  .tracer = opts.tracer});
     return manager.run();
 }
 

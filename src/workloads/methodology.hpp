@@ -25,6 +25,10 @@
 #include "uarch/sim_config.hpp"
 #include "workloads/workload.hpp"
 
+namespace synpa::obs {
+class Tracer;
+}  // namespace synpa::obs
+
 namespace synpa::workloads {
 
 struct MethodologyOptions {
@@ -35,6 +39,10 @@ struct MethodologyOptions {
     std::uint64_t max_quanta = 20'000;
     bool record_traces = true;
     std::size_t threads = 0;  ///< parallelism across repetitions/workloads
+    /// Flight recorder handed to the run's ThreadManager (not owned; may be
+    /// null).  Campaign drivers derive a per-cell tracer from SYNPA_TRACE_*
+    /// instead of sharing one across parallel cells.
+    obs::Tracer* tracer = nullptr;
 };
 
 /// Fresh policy per repetition (policies hold run state).

@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -184,6 +185,10 @@ TEST(Stats, PercentileInterpolatesOrderStatistics) {
     const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0};
     EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.95), percentile(xs, 0.95));
     EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.5}, 0.99), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 10.0);  // p clamped from below too
+    const std::vector<double> single = {3.0};
+    EXPECT_DOUBLE_EQ(percentile(single, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(single, 1.0), 3.0);
 }
 
 TEST(Stats, OutlierDiscardReachesCvLimit) {
@@ -239,15 +244,47 @@ TEST(Table, StackedBarWidthsSum) {
 TEST(Config, EnvIntFallback) {
     ::unsetenv("SYNPA_TEST_UNSET");
     EXPECT_EQ(env_int("SYNPA_TEST_UNSET", 5), 5);
+    ::setenv("SYNPA_TEST_EMPTY", "", 1);
+    EXPECT_EQ(env_int("SYNPA_TEST_EMPTY", 5), 5);
     ::setenv("SYNPA_TEST_INT", "17", 1);
     EXPECT_EQ(env_int("SYNPA_TEST_INT", 5), 17);
+    ::setenv("SYNPA_TEST_NEG", "-3", 1);
+    EXPECT_EQ(env_int("SYNPA_TEST_NEG", 5), -3);
+    ::setenv("SYNPA_TEST_SPACE", " 8 ", 1);  // trailing whitespace is fine
+    EXPECT_EQ(env_int("SYNPA_TEST_SPACE", 5), 8);
+}
+
+TEST(Config, EnvIntMalformedThrowsNamingTheKnob) {
+    // A typo'd knob must fail loudly, not silently run the default config.
     ::setenv("SYNPA_TEST_BAD", "xyz", 1);
-    EXPECT_EQ(env_int("SYNPA_TEST_BAD", 5), 5);
+    EXPECT_THROW(env_int("SYNPA_TEST_BAD", 5), std::runtime_error);
+    try {
+        env_int("SYNPA_TEST_BAD", 5);
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("SYNPA_TEST_BAD"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("xyz"), std::string::npos);
+    }
+    ::setenv("SYNPA_TEST_TRAILING", "8cores", 1);  // trailing garbage
+    EXPECT_THROW(env_int("SYNPA_TEST_TRAILING", 5), std::runtime_error);
+    ::setenv("SYNPA_TEST_OVERFLOW", "99999999999999999999999", 1);
+    EXPECT_THROW(env_int("SYNPA_TEST_OVERFLOW", 5), std::runtime_error);
+    ::unsetenv("SYNPA_TEST_BAD");
+    ::unsetenv("SYNPA_TEST_TRAILING");
+    ::unsetenv("SYNPA_TEST_OVERFLOW");
 }
 
 TEST(Config, EnvDoubleAndString) {
     ::setenv("SYNPA_TEST_DBL", "2.5", 1);
     EXPECT_DOUBLE_EQ(env_double("SYNPA_TEST_DBL", 1.0), 2.5);
+    ::setenv("SYNPA_TEST_DBL_EXP", "1e-3", 1);
+    EXPECT_DOUBLE_EQ(env_double("SYNPA_TEST_DBL_EXP", 1.0), 1e-3);
+    ::setenv("SYNPA_TEST_DBL_BAD", "fast", 1);
+    EXPECT_THROW(env_double("SYNPA_TEST_DBL_BAD", 1.0), std::runtime_error);
+    ::setenv("SYNPA_TEST_DBL_TRAIL", "0.5x", 1);
+    EXPECT_THROW(env_double("SYNPA_TEST_DBL_TRAIL", 1.0), std::runtime_error);
+    ::unsetenv("SYNPA_TEST_DBL_BAD");
+    ::unsetenv("SYNPA_TEST_DBL_TRAIL");
     ::setenv("SYNPA_TEST_STR", "hello", 1);
     EXPECT_EQ(env_string("SYNPA_TEST_STR", "d"), "hello");
     EXPECT_EQ(env_string("SYNPA_TEST_STR_UNSET", "d"), "d");

@@ -13,6 +13,14 @@ with free cores, which the CI runners (and any developer machine) have.
 Usage:
     tools/bench_snapshot.py [--build-dir build] [--output BENCH_sim_throughput.json]
                             [--min-time 0.05]
+    tools/bench_snapshot.py --check [--baseline BENCH_sim_throughput.json]
+                            [--regression-threshold 0.25]
+
+With --check, the freshly measured snapshot is compared against the committed
+baseline instead of overwriting it: any benchmark row whose items_per_second
+dropped by more than the threshold fails the run.  The comparison only applies
+when the host core count matches the baseline's (throughput on a different
+machine is not a regression signal); otherwise it prints a notice and exits 0.
 
 Requires the benches to be built (cmake --build <build-dir>); exits non-zero
 with a hint if they are missing.
@@ -107,6 +115,60 @@ def cpu_model() -> str:
     return host_platform.processor() or "unknown"
 
 
+def check_against_baseline(snapshot: dict, baseline_path: str, threshold: float) -> int:
+    """Compare the fresh snapshot's throughput rows against the committed
+    baseline; return the exit code.  Skips (exit 0) with a notice when the
+    host shape differs from the machine that produced the baseline."""
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.stderr.write(f"error: cannot read baseline {baseline_path}: {err}\n")
+        return 1
+
+    base_cores = baseline.get("host", {}).get("hardware_concurrency")
+    here_cores = snapshot["host"]["hardware_concurrency"]
+    if base_cores != here_cores:
+        print(
+            f"bench check skipped: baseline was taken on a "
+            f"{base_cores}-core host, this host has {here_cores} cores "
+            f"(throughput is not comparable across machines)"
+        )
+        return 0
+
+    regressions = []
+    compared = 0
+    for bench, entry in snapshot["benchmarks"].items():
+        base_rows = {
+            r["name"]: r
+            for r in baseline.get("benchmarks", {}).get(bench, {}).get("rows", [])
+        }
+        for row in entry["rows"]:
+            base = base_rows.get(row["name"])
+            if not base:
+                continue
+            old = base.get("items_per_second")
+            new = row.get("items_per_second")
+            if not old or not new:
+                continue
+            compared += 1
+            ratio = new / old
+            if ratio < 1.0 - threshold:
+                regressions.append(
+                    f"  {row['name']}: {old:.3e} -> {new:.3e} items/s "
+                    f"({(1.0 - ratio) * 100:.0f}% slower)"
+                )
+
+    if regressions:
+        sys.stderr.write(
+            f"bench check FAILED: {len(regressions)} of {compared} rows regressed "
+            f"beyond {threshold * 100:.0f}%:\n" + "\n".join(regressions) + "\n"
+        )
+        return 1
+    print(f"bench check OK: {compared} throughput rows within {threshold * 100:.0f}% of baseline")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
@@ -114,6 +176,15 @@ def main() -> int:
         "--output", default=os.path.join(REPO_ROOT, "BENCH_sim_throughput.json")
     )
     ap.add_argument("--min-time", type=float, default=0.05)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline instead of writing --output",
+    )
+    ap.add_argument(
+        "--baseline", default=os.path.join(REPO_ROOT, "BENCH_sim_throughput.json")
+    )
+    ap.add_argument("--regression-threshold", type=float, default=0.25)
     args = ap.parse_args()
 
     snapshot = {
@@ -146,6 +217,9 @@ def main() -> int:
             snapshot["host"]["benchmark_num_cpus"] = ctx.get("num_cpus")
             snapshot["host"]["library_build_type"] = ctx.get("library_build_type")
         snapshot["benchmarks"][bench] = entry
+
+    if args.check:
+        return check_against_baseline(snapshot, args.baseline, args.regression_threshold)
 
     with open(args.output, "w") as f:
         json.dump(snapshot, f, indent=2, sort_keys=True)

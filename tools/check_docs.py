@@ -6,6 +6,9 @@
 2. Every policy name registered in src/sched/registry.cpp (the table
    between the registry-table-begin/end markers) must be documented in
    docs/REFERENCE.md as an inline-code `name`.
+3. Every SYNPA_* environment knob read anywhere in src/, bench/, or
+   examples/ (via common::env_int/env_double/env_string or raw getenv)
+   must be documented in docs/REFERENCE.md as an inline-code `NAME`.
 
 Exits nonzero listing every violation; prints a summary on success.
 """
@@ -20,6 +23,8 @@ SKIP_DIRS = {"build", ".git", ".claude"}
 # [text](target) — excluding images is unnecessary (same resolution rules).
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 REGISTRY_NAME_RE = re.compile(r'^\s*\{"([^"]+)"')
+ENV_KNOB_RE = re.compile(r'(?:env_(?:int|double|string)\(\s*|getenv\(\s*)"(SYNPA_[A-Z0-9_]+)"')
+SOURCE_DIRS = ("src", "bench", "examples")
 
 
 def markdown_files():
@@ -68,13 +73,38 @@ def check_policy_docs():
     ]
 
 
+def env_knobs():
+    """Every SYNPA_* knob read from the environment, mapped to one usage site."""
+    knobs = {}
+    for dir_name in SOURCE_DIRS:
+        for source in sorted((REPO / dir_name).rglob("*.[ch]pp")):
+            for lineno, line in enumerate(source.read_text().splitlines(), 1):
+                for name in ENV_KNOB_RE.findall(line):
+                    knobs.setdefault(name, f"{source.relative_to(REPO)}:{lineno}")
+    if not knobs:
+        sys.exit("no SYNPA_* env knobs found in the source tree")
+    return knobs
+
+
+def check_env_knob_docs():
+    reference = (REPO / "docs/REFERENCE.md").read_text()
+    return [
+        f"docs/REFERENCE.md: env knob '{name}' (read at {site}) is undocumented"
+        for name, site in sorted(env_knobs().items())
+        if f"`{name}`" not in reference
+    ]
+
+
 def main():
-    errors = check_links() + check_policy_docs()
+    errors = check_links() + check_policy_docs() + check_env_knob_docs()
     if errors:
         print("\n".join(errors), file=sys.stderr)
         sys.exit(1)
     md_count = sum(1 for _ in markdown_files())
-    print(f"docs OK: {md_count} markdown files, {len(registry_names())} policies documented")
+    print(
+        f"docs OK: {md_count} markdown files, {len(registry_names())} policies"
+        f" and {len(env_knobs())} env knobs documented"
+    )
 
 
 if __name__ == "__main__":
