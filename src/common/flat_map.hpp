@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 namespace synpa::common {
@@ -24,7 +25,9 @@ namespace synpa::common {
 template <class V>
 class FlatIdMap {
 public:
-    /// Pointer to the value for `id`, or nullptr when absent.
+    /// Pointer to the value for `id`, or nullptr when absent.  Pointers are
+    /// invalidated by any growing insert (operator[] / insert_or_assign with
+    /// a new largest id), like vector iterators.
     V* find(int id) noexcept {
         const auto i = static_cast<std::size_t>(id);
         return id >= 0 && i < present_.size() && present_[i] ? &values_[i] : nullptr;
@@ -46,6 +49,31 @@ public:
         size_ += present_[i] ? 0u : 1u;
         present_[i] = 1;
         values_[i] = std::move(value);
+    }
+
+    /// Reference to the value for `id` (id must be >= 0), default-
+    /// constructing it when absent — the unordered_map operator[] contract.
+    V& operator[](int id) {
+        const auto i = static_cast<std::size_t>(id);
+        if (i >= present_.size()) {
+            present_.resize(i + 1, 0);
+            values_.resize(i + 1);
+        }
+        size_ += present_[i] ? 0u : 1u;
+        present_[i] = 1;
+        return values_[i];
+    }
+
+    /// Reference to the value for `id`; throws std::out_of_range when absent.
+    const V& at(int id) const {
+        const V* v = find(id);
+        if (v == nullptr) throw std::out_of_range("FlatIdMap::at: absent id");
+        return *v;
+    }
+    V& at(int id) {
+        V* v = find(id);
+        if (v == nullptr) throw std::out_of_range("FlatIdMap::at: absent id");
+        return *v;
     }
 
     /// Removes `id`; returns whether it was present.  Capacity is kept.

@@ -9,19 +9,22 @@ SynpaEstimator::SynpaEstimator(model::InterferenceModel model, Options opts)
     : model_(std::move(model)), opts_(opts) {}
 
 void SynpaEstimator::observe(std::span<const sched::TaskObservation> observations) {
-    std::unordered_map<int, const sched::TaskObservation*> by_id;
+    common::FlatIdMap<const sched::TaskObservation*> by_id;
     for (const auto& o : observations) by_id[o.task_id] = &o;
 
     auto ema_update = [&](int id, const model::CategoryVector& fresh) {
-        auto [it, inserted] = estimates_.try_emplace(id, fresh);
-        if (inserted) return;
+        model::CategoryVector* est = estimates_.find(id);
+        if (est == nullptr) {
+            estimates_.insert_or_assign(id, fresh);
+            return;
+        }
         for (std::size_t c = 0; c < model::kCategoryCount; ++c)
-            it->second[c] = opts_.ema_alpha * fresh[c] + (1.0 - opts_.ema_alpha) * it->second[c];
+            (*est)[c] = opts_.ema_alpha * fresh[c] + (1.0 - opts_.ema_alpha) * (*est)[c];
         // Keep the estimate on the simplex after mixing.
         double sum = 0.0;
-        for (double x : it->second) sum += x;
+        for (double x : *est) sum += x;
         if (sum > 1e-9)
-            for (double& x : it->second) x /= sum;
+            for (double& x : *est) x /= sum;
     };
 
     for (const auto& o : observations) {
@@ -33,11 +36,11 @@ void SynpaEstimator::observe(std::span<const sched::TaskObservation> observation
         if (o.corunner_task_ids.size() == 1) {
             // A 2-group: one model inversion recovers both isolated vectors.
             if (o.corunner_task_id < o.task_id) continue;  // handle each pair once
-            const auto it = by_id.find(o.corunner_task_id);
-            if (it == by_id.end()) continue;
+            const auto* partner = by_id.find(o.corunner_task_id);
+            if (partner == nullptr) continue;
             const model::ModelInverter inverter(model_, opts_.inversion);
             const model::InversionResult inv =
-                inverter.invert(o.breakdown.fractions(), it->second->breakdown.fractions());
+                inverter.invert(o.breakdown.fractions(), (*partner)->breakdown.fractions());
             ema_update(o.task_id, inv.st_i);
             ema_update(o.corunner_task_id, inv.st_j);
             continue;
@@ -50,10 +53,10 @@ void SynpaEstimator::observe(std::span<const sched::TaskObservation> observation
         model::CategoryVector acc{};
         int inverted = 0;
         for (const int partner : o.corunner_task_ids) {
-            const auto it = by_id.find(partner);
-            if (it == by_id.end()) continue;
+            const auto* other = by_id.find(partner);
+            if (other == nullptr) continue;
             const model::InversionResult inv =
-                inverter.invert(o.breakdown.fractions(), it->second->breakdown.fractions());
+                inverter.invert(o.breakdown.fractions(), (*other)->breakdown.fractions());
             for (std::size_t c = 0; c < model::kCategoryCount; ++c) acc[c] += inv.st_i[c];
             ++inverted;
         }
@@ -64,8 +67,8 @@ void SynpaEstimator::observe(std::span<const sched::TaskObservation> observation
 }
 
 model::CategoryVector SynpaEstimator::estimate(int task_id) const {
-    const auto it = estimates_.find(task_id);
-    if (it != estimates_.end()) return it->second;
+    const model::CategoryVector* est = estimates_.find(task_id);
+    if (est != nullptr) return *est;
     return {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
 }
 
@@ -96,9 +99,11 @@ std::vector<double> SynpaEstimator::member_slowdowns(std::span<const int> task_i
 void SynpaEstimator::forget(int task_id) { estimates_.erase(task_id); }
 
 void SynpaEstimator::transfer(int old_task_id, int new_task_id) {
-    const auto it = estimates_.find(old_task_id);
-    if (it == estimates_.end()) return;
-    estimates_[new_task_id] = it->second;
+    const model::CategoryVector* est = estimates_.find(old_task_id);
+    if (est == nullptr) return;
+    // Copy before inserting: a growing insert invalidates `est`.
+    const model::CategoryVector moved = *est;
+    estimates_.insert_or_assign(new_task_id, moved);
     estimates_.erase(old_task_id);
 }
 

@@ -14,8 +14,8 @@
 #include <cstdint>
 #include <utility>
 #include <span>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "model/interference_model.hpp"
 #include "model/inversion.hpp"
 #include "sched/policy.hpp"
@@ -88,7 +88,7 @@ public:
 private:
     model::InterferenceModel model_;
     Options opts_;
-    std::unordered_map<int, model::CategoryVector> estimates_;
+    common::FlatIdMap<model::CategoryVector> estimates_;
 };
 
 }  // namespace synpa::core

@@ -6,8 +6,7 @@
 #include <string>
 #include <vector>
 
-#include <unordered_map>
-
+#include "common/flat_map.hpp"
 #include "obs/trace.hpp"
 #include "sched/baselines.hpp"
 #include "sched/topology.hpp"
@@ -308,13 +307,13 @@ sched::CoreAllocation SynpaPolicy::allocate_chip(
 
     // Current pairing in index space, for hysteresis.
     std::vector<std::pair<int, int>> current;
-    std::unordered_map<int, std::size_t> index_of;
+    common::FlatIdMap<std::size_t> index_of;
     for (std::size_t i = 0; i < n; ++i) index_of[observations[i].task_id] = i;
     for (std::size_t i = 0; i < n; ++i) {
         const int partner = observations[i].corunner_task_id;
-        const auto it = partner >= 0 ? index_of.find(partner) : index_of.end();
-        if (it != index_of.end() && it->second > i)
-            current.emplace_back(static_cast<int>(i), static_cast<int>(it->second));
+        const std::size_t* it = partner >= 0 ? index_of.find(partner) : nullptr;
+        if (it != nullptr && *it > i)
+            current.emplace_back(static_cast<int>(i), static_cast<int>(*it));
     }
 
     // Step 3: most synergistic perfect matching, with hysteresis against

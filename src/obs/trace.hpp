@@ -151,6 +151,17 @@ struct QuantumStats {
     double bind_us = 0.0;
 };
 
+/// Reads the host monotonic clock, in microseconds since an arbitrary
+/// epoch.  This helper and PhaseStopwatch are the only sanctioned
+/// wall-clock entry points for the deterministic layers (DET-02 in
+/// docs/LINTING.md): host time is observability-only and must never feed
+/// back into simulated state.
+inline double host_now_us() noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 /// Host-time phase stopwatch for the drivers: lap_us() returns the
 /// microseconds since the previous lap (0 when inactive — the disabled
 /// path costs one branch, no clock read).

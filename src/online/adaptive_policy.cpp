@@ -61,8 +61,8 @@ sched::CoreAllocation AdaptiveSynpaPolicy::reallocate(
     for (std::size_t i = 0; i < observations.size(); ++i) {
         const sched::TaskObservation& o = observations[i];
         Placement now{.core = o.core, .corunners = o.corunner_task_ids};
-        const auto it = last_placement_.find(o.task_id);
-        stable[i] = it != last_placement_.end() && it->second == now;
+        const Placement* it = last_placement_.find(o.task_id);
+        stable[i] = it != nullptr && *it == now;
         last_placement_[o.task_id] = std::move(now);
     }
 
@@ -108,23 +108,20 @@ void AdaptiveSynpaPolicy::harvest_samples(
     for (std::size_t i = 0; i < observations.size(); ++i) {
         const sched::TaskObservation& o = observations[i];
         if (!stable[i] || o.corunner_task_ids.empty()) continue;
-        const auto self = references_.find(o.task_id);
-        if (self == references_.end() ||
-            quantum_ - self->second.quantum > opts_.reference_max_age)
-            continue;
-        if (self->second.ipc <= 0.0 || o.breakdown.instructions == 0) continue;
+        const SoloReference* self = references_.find(o.task_id);
+        if (self == nullptr || quantum_ - self->quantum > opts_.reference_max_age) continue;
+        if (self->ipc <= 0.0 || o.breakdown.instructions == 0) continue;
 
         model::CategoryVector corunner{};
         bool ok = true;
         for (const int partner : o.corunner_task_ids) {
-            const auto it = references_.find(partner);
-            if (it == references_.end() ||
-                quantum_ - it->second.quantum > opts_.reference_max_age) {
+            const SoloReference* it = references_.find(partner);
+            if (it == nullptr || quantum_ - it->quantum > opts_.reference_max_age) {
                 ok = false;
                 break;
             }
             for (std::size_t c = 0; c < model::kCategoryCount; ++c)
-                corunner[c] += it->second.fractions[c];
+                corunner[c] += it->fractions[c];
         }
         if (!ok) continue;
 
@@ -133,10 +130,10 @@ void AdaptiveSynpaPolicy::harvest_samples(
         // alignment, with a per-phase rolling profile instead of an
         // offline one.
         const double isolated_cycles =
-            static_cast<double>(o.breakdown.instructions) / self->second.ipc;
+            static_cast<double>(o.breakdown.instructions) / self->ipc;
         if (isolated_cycles <= 0.0) continue;
         model::TrainingSample sample;
-        sample.st_self = self->second.fractions;
+        sample.st_self = self->fractions;
         sample.st_corunner = corunner;
         double slowdown = 0.0;
         for (std::size_t c = 0; c < model::kCategoryCount; ++c) {

@@ -22,8 +22,8 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "core/synpa_policy.hpp"
 #include "online/incremental_trainer.hpp"
 #include "online/phase_detector.hpp"
@@ -120,8 +120,8 @@ private:
     obs::Tracer* tracer_ = nullptr;  ///< flight recorder (not owned)
     PhaseDetector detector_;
     IncrementalTrainer trainer_;
-    std::unordered_map<int, SoloReference> references_;
-    std::unordered_map<int, Placement> last_placement_;
+    common::FlatIdMap<SoloReference> references_;
+    common::FlatIdMap<Placement> last_placement_;
     std::deque<model::TrainingSample> validation_;  ///< held-out samples
 
     std::uint64_t quantum_ = 0;

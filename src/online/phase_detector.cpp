@@ -69,8 +69,8 @@ void PhaseDetector::reset(int task_id) { state_.erase(task_id); }
 void PhaseDetector::forget(int task_id) { state_.erase(task_id); }
 
 bool PhaseDetector::warmed_up(int task_id) const {
-    const auto it = state_.find(task_id);
-    return it != state_.end() && it->second.samples >= opts_.warmup_quanta;
+    const TaskState* it = state_.find(task_id);
+    return it != nullptr && it->samples >= opts_.warmup_quanta;
 }
 
 }  // namespace synpa::online

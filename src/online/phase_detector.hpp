@@ -20,8 +20,8 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "model/interference_model.hpp"
 
 namespace synpa::online {
@@ -84,7 +84,7 @@ private:
     };
 
     Options opts_;
-    std::unordered_map<int, TaskState> state_;
+    common::FlatIdMap<TaskState> state_;
     std::uint64_t alarms_ = 0;
 };
 

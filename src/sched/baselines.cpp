@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "sched/topology.hpp"
 
 namespace synpa::sched {
@@ -59,7 +59,7 @@ CoreAllocation place_groups(const std::vector<CoreGroup>& entries,
                             std::size_t cores) {
     if (entries.size() > cores)
         throw std::invalid_argument("place_groups: more entries than cores");
-    std::unordered_map<int, int> core_of;
+    common::FlatIdMap<int> core_of;
     for (const TaskObservation& o : observations) core_of[o.task_id] = o.core;
 
     CoreAllocation alloc(cores);
@@ -71,11 +71,10 @@ CoreAllocation place_groups(const std::vector<CoreGroup>& entries,
     for (const CoreGroup& g : entries) {
         int preferred = -1;
         for (const int member : g.members()) {
-            const auto it = core_of.find(member);
-            if (it != core_of.end() && it->second >= 0 &&
-                it->second < static_cast<int>(cores) &&
-                !core_used[static_cast<std::size_t>(it->second)]) {
-                preferred = it->second;
+            const int* it = core_of.find(member);
+            if (it != nullptr && *it >= 0 && *it < static_cast<int>(cores) &&
+                !core_used[static_cast<std::size_t>(*it)]) {
+                preferred = *it;
                 break;
             }
         }
@@ -224,14 +223,14 @@ CoreAllocation OraclePolicy::allocate_chip(std::span<const TaskObservation> obse
     }
 
     // Current pairing in index space, for the same hysteresis SYNPA uses.
-    std::unordered_map<int, std::size_t> index_of;
+    common::FlatIdMap<std::size_t> index_of;
     for (std::size_t i = 0; i < n; ++i) index_of[observations[i].task_id] = i;
     std::vector<std::pair<int, int>> current;
     for (std::size_t i = 0; i < n; ++i) {
         const int partner = observations[i].corunner_task_id;
-        const auto it = partner >= 0 ? index_of.find(partner) : index_of.end();
-        if (it != index_of.end() && it->second > i)
-            current.emplace_back(static_cast<int>(i), static_cast<int>(it->second));
+        const std::size_t* it = partner >= 0 ? index_of.find(partner) : nullptr;
+        if (it != nullptr && *it > i)
+            current.emplace_back(static_cast<int>(i), static_cast<int>(*it));
     }
     const matching::StabilizedSelection sel =
         matching::stabilized_min_weight(w, current, matcher_);

@@ -1,8 +1,8 @@
 #include "sched/quantum_loop.hpp"
 
 #include <stdexcept>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "model/categories.hpp"
 #include "obs/trace.hpp"
 
@@ -16,7 +16,7 @@ BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc
     const int ways = platform.config().smt_ways;
 
     // Validate the allocation is a permutation of the live tasks.
-    std::unordered_map<int, uarch::CpuSlot> target;
+    common::FlatIdMap<uarch::CpuSlot> target;
     for (std::size_t c = 0; c < alloc.size(); ++c) {
         const CoreGroup& g = alloc[c];
         const int occ = g.occupancy();
@@ -52,26 +52,25 @@ BindStats bind_allocation(uarch::Platform& platform, const CoreAllocation& alloc
     const bool trace = tracer != nullptr && tracer->wants(obs::EventKind::kMigration);
     for (apps::AppInstance* task : live) {
         const int id = task->id();
-        const auto it = target.find(id);
-        if (it == target.end())
+        const uarch::CpuSlot* it = target.find(id);
+        if (it == nullptr)
             throw std::runtime_error("bind_allocation: allocation missing a live task");
         if (!platform.is_bound(id)) continue;
         const uarch::CpuSlot old_slot = platform.placement(id);
         const int old_core = old_slot.core;
-        const bool cross =
-            platform.chip_of_core(old_core) != platform.chip_of_core(it->second.core);
-        if (old_core != it->second.core) {
+        const bool cross = platform.chip_of_core(old_core) != platform.chip_of_core(it->core);
+        if (old_core != it->core) {
             ++stats.migrations;
             if (cross) ++stats.cross_chip;
         }
-        if (trace && (old_core != it->second.core || old_slot.slot != it->second.slot)) {
+        if (trace && (old_core != it->core || old_slot.slot != it->slot)) {
             obs::TraceEvent e;
             e.kind = obs::EventKind::kMigration;
             e.quantum = tracer->quantum();
             e.task = id;
-            e.core = it->second.core;
+            e.core = it->core;
             e.b = old_core;
-            e.a = old_core == it->second.core ? 0 : (cross ? 2 : 1);
+            e.a = old_core == it->core ? 0 : (cross ? 2 : 1);
             tracer->emit(std::move(e));
         }
     }

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "apps/spec_suite.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "obs/trace.hpp"
 #include "sched/quantum_loop.hpp"
@@ -88,9 +88,9 @@ RunResult ThreadManager::run() {
         // ids mid-loop, so resolve co-runner slots from the ids captured at
         // observation time, and remember the remapping to patch the
         // observations before they reach the policy.
-        std::unordered_map<int, int> slot_by_task;
+        common::FlatIdMap<int> slot_by_task;
         for (const TaskObservation& o : obs) slot_by_task[o.task_id] = o.slot_index;
-        std::unordered_map<int, int> replaced;
+        common::FlatIdMap<int> replaced;
         for (std::size_t s = 0; s < slots_.size(); ++s) {
             Slot& slot = slots_[s];
             apps::AppInstance& task = *slot.task;
@@ -102,8 +102,8 @@ RunResult ThreadManager::run() {
                 t.quantum = quantum - 1;
                 t.fractions = fr;
                 if (o.corunner_task_id >= 0) {
-                    const auto it = slot_by_task.find(o.corunner_task_id);
-                    t.corunner_slot = it != slot_by_task.end() ? it->second : -1;
+                    const int* it = slot_by_task.find(o.corunner_task_id);
+                    t.corunner_slot = it != nullptr ? *it : -1;
                 }
                 t.ipc = o.breakdown.ipc();
                 t.frontend_dominant =
@@ -201,14 +201,14 @@ RunResult ThreadManager::run() {
         // the slot, so the policy sees live ids (and no dangling pointers).
         if (!replaced.empty()) {
             for (TaskObservation& o : obs) {
-                const auto self = replaced.find(o.task_id);
-                if (self != replaced.end()) {
-                    o.task_id = self->second;
+                const int* self = replaced.find(o.task_id);
+                if (self != nullptr) {
+                    o.task_id = *self;
                     o.instance = slots_[static_cast<std::size_t>(o.slot_index)].task.get();
                 }
                 for (int& partner_id : o.corunner_task_ids) {
-                    const auto partner = replaced.find(partner_id);
-                    if (partner != replaced.end()) partner_id = partner->second;
+                    const int* partner = replaced.find(partner_id);
+                    if (partner != nullptr) partner_id = *partner;
                 }
                 o.corunner_task_id =
                     o.corunner_task_ids.empty() ? -1 : o.corunner_task_ids.front();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/flat_map.hpp"
 #include "uarch/cache.hpp"
 
 namespace synpa::uarch {
@@ -99,7 +100,7 @@ void Chip::refresh_rates() {
                 llc_fp.push_back(core.slot(s).task()->phase().data_footprint_llc_mb);
             }
     const std::vector<double> llc_share = proportional_shares(cfg_.llc_mb, llc_fp);
-    std::unordered_map<int, double> llc_share_by_task;
+    common::FlatIdMap<double> llc_share_by_task;
     for (std::size_t i = 0; i < all.size(); ++i) llc_share_by_task[all[i]->id()] = llc_share[i];
 
     const double e = cfg_.cache_pressure_exponent;

@@ -1,6 +1,5 @@
 #include "uarch/platform.hpp"
 
-#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -82,14 +81,14 @@ void Platform::run_quantum() {
     // barrier (the coordinator merges rings after the join, in ascending
     // chip order, so traces are identical at every SYNPA_SIM_THREADS).
     const auto run_chip_traced = [this](int c) {
-        const auto start = std::chrono::steady_clock::now();
+        const double start_us = obs::host_now_us();
         chips_[static_cast<std::size_t>(c)]->run_quantum();
-        const auto stop = std::chrono::steady_clock::now();
+        const double stop_us = obs::host_now_us();
         obs::TraceEvent e;
         e.kind = obs::EventKind::kChipQuantum;
         e.quantum = quanta_;
         e.chip = c;
-        e.value = std::chrono::duration<double, std::micro>(stop - start).count();
+        e.value = stop_us - start_us;
         tracer_->emit_chip(c, std::move(e));
     };
     if (engine_) {

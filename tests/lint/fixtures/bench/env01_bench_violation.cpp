@@ -1,0 +1,8 @@
+// ENV-01 applies repo-wide (bench/ and examples/ included): knobs read
+// here must also go through common::env_*.
+#include <cstdlib>
+
+int main() {
+    const char* reps = std::getenv("SYNPA_BENCH_REPS");  // line 6: flagged
+    return reps != nullptr ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// ENV-01 exemption fixture: common/config is the one sanctioned home for
+// raw getenv — the env_* wrappers live here.
+#include <cstdlib>
+#include <string>
+
+namespace synpa::common {
+
+long env_int(const std::string& name, long fallback) {
+    const char* v = std::getenv(name.c_str());  // allowed: this IS the wrapper
+    return v != nullptr ? std::stol(v) : fallback;
+}
+
+}  // namespace synpa::common

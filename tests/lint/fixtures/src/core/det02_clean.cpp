@@ -1,0 +1,29 @@
+// DET-02 clean counterpart: seeded deterministic streams and the obs
+// host-time helpers are the sanctioned paths; an audited read carries the
+// host-time-ok marker.
+#include <chrono>
+#include <cstdint>
+
+namespace synpa::obs {
+double host_now_us();
+}
+
+namespace synpa::core {
+
+std::uint64_t seeded_stream(std::uint64_t seed) {
+    // splitmix-style step: deterministic, replayable, fork-safe.
+    seed += 0x9e3779b97f4a7c15ull;
+    return seed ^ (seed >> 31);
+}
+
+double observability_only_timing() {
+    return synpa::obs::host_now_us();  // the allowlisted entry point
+}
+
+double audited_clock_read() {
+    // synpa-lint: host-time-ok(latency probe; value is logged, never fed to sim state)
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace synpa::core

@@ -1,0 +1,17 @@
+// DET-02 fixture: host randomness and wall-clock reads in a deterministic
+// layer.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace synpa::core {
+
+double nondeterministic_weight() {
+    std::random_device rd;                                    // line 10: flagged
+    const double noise = static_cast<double>(std::rand());    // line 11: flagged
+    const auto now = std::chrono::steady_clock::now();        // line 12: flagged
+    return noise + static_cast<double>(rd()) +
+           static_cast<double>(now.time_since_epoch().count());
+}
+
+}  // namespace synpa::core

@@ -1,0 +1,14 @@
+// OBS-01 clean counterpart: snprintf formats into buffers (no stream
+// write), and data goes back to the caller instead of a stream.
+#include <cstdio>
+#include <string>
+
+namespace synpa::model {
+
+std::string format_residual(double residual) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "residual=%f", residual);
+    return buf;
+}
+
+}  // namespace synpa::model

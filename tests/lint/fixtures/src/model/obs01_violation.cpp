@@ -1,0 +1,13 @@
+// OBS-01 fixture: direct stdout/stderr tracing in src/ outside obs/.
+#include <cstdio>
+#include <iostream>
+
+namespace synpa::model {
+
+void debug_dump(double residual) {
+    std::cout << "residual=" << residual << "\n";      // line 8: flagged
+    fprintf(stderr, "residual=%f\n", residual);        // line 9: flagged
+    std::puts("done");                                 // line 10: flagged
+}
+
+}  // namespace synpa::model

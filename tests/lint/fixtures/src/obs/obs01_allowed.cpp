@@ -1,0 +1,9 @@
+// OBS-01 exemption fixture: obs/ is the sanctioned output layer — the
+// exporters write streams here.
+#include <iostream>
+
+namespace synpa::obs {
+
+void print_summary(int events) { std::cout << "events=" << events << "\n"; }
+
+}  // namespace synpa::obs

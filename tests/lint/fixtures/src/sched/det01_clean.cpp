@@ -1,0 +1,29 @@
+// DET-01 clean counterpart: lookups into unordered containers are fine
+// (no iteration order is observed), an audited traversal carries the
+// sorted-ok marker, and sorted snapshots are always fine.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace synpa::sched {
+
+int lookups_only(const std::unordered_map<int, int>& scores) {
+    const auto it = scores.find(7);
+    return it != scores.end() ? it->second : 0;
+}
+
+int audited_traversal(const std::unordered_map<int, int>& scores) {
+    int sum = 0;
+    // synpa-lint: sorted-ok(summation is commutative; order cannot reach output)
+    for (const auto& [id, score] : scores) sum += id + score;
+    return sum;
+}
+
+std::vector<int> sorted_snapshot(const std::unordered_map<int, int>& scores) {
+    std::vector<int> ids;
+    for (const auto& [id, score] : scores) ids.push_back(id);  // synpa-lint: sorted-ok(sorted below before use)
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+}  // namespace synpa::sched

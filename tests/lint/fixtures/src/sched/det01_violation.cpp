@@ -1,0 +1,22 @@
+// DET-01 fixture: traversals of unordered containers in a deterministic
+// layer.  Expected findings are pinned by line number in
+// tests/lint/test_synpa_lint.py — keep the layout stable.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace synpa::sched {
+
+int traverse_everything() {
+    std::unordered_map<int, int> scores;
+    std::unordered_set<int> members;
+    scores[1] = 2;
+    members.insert(3);
+    int sum = 0;
+    for (const auto& [id, score] : scores) sum += id + score;  // line 15: flagged
+    for (int m : members) sum += m;                            // line 16: flagged
+    for (auto it = scores.begin(); it != scores.end(); ++it)   // line 17: flagged
+        sum += it->second;
+    return sum;
+}
+
+}  // namespace synpa::sched

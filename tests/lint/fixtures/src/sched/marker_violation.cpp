@@ -1,0 +1,16 @@
+// MARKER-01 fixture: suppression markers must carry a reason and use a
+// known tag.
+#include <unordered_map>
+
+namespace synpa::sched {
+
+int bad_markers(const std::unordered_map<int, int>& scores) {
+    int sum = 0;
+    // synpa-lint: sorted-ok()
+    for (const auto& [id, score] : scores) sum += score;  // line 10: DET-01 (reasonless marker suppresses nothing)
+    // synpa-lint: definitely-fine(trust me)
+    for (const auto& [id, score] : scores) sum += id;  // line 12: DET-01 (unknown tag suppresses nothing)
+    return sum;
+}
+
+}  // namespace synpa::sched

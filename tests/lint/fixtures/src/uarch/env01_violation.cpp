@@ -1,0 +1,13 @@
+// ENV-01 fixture: raw getenv outside common/config bypasses the fail-loud
+// wrappers and the documented-knob cross-check.
+#include <cstdlib>
+#include <string>
+
+namespace synpa::uarch {
+
+int knob_from_raw_env() {
+    const char* v = std::getenv("SYNPA_SOME_KNOB");  // line 9: flagged
+    return v != nullptr ? std::stoi(v) : 0;
+}
+
+}  // namespace synpa::uarch

@@ -1,0 +1,27 @@
+// SHARD-01 clean counterpart: constants, anonymous-namespace helpers,
+// and state owned by objects are all fine — only mutable globals race.
+#include <cstdint>
+
+namespace synpa::uarch {
+
+constexpr std::uint64_t kCyclesPerQuantum = 1'000'000;
+const double kDefaultPressure = 1.5;
+
+namespace {
+
+double helper(double x) { return x * kDefaultPressure; }
+
+}  // namespace
+
+class ShardLocal {
+public:
+    void tick() { quanta_ += 1; }
+    std::uint64_t quanta() const { return quanta_; }
+
+private:
+    std::uint64_t quanta_ = 0;  // owned, per-instance: no cross-shard sharing
+};
+
+double use(double x) { return helper(x); }
+
+}  // namespace synpa::uarch

@@ -1,0 +1,19 @@
+// SHARD-01 fixture: mutable namespace-scope state in a barrier layer.
+// Chip shards run this code concurrently — a mutable global is an
+// unsynchronized cross-shard race even when the value "looks" harmless.
+#include <cstdint>
+
+namespace synpa::uarch {
+
+std::uint64_t quanta_simulated = 0;  // line 8: flagged
+
+namespace {
+static double last_chip_time;  // line 11: flagged (anonymous namespace too)
+}  // namespace
+
+void tick() {
+    ++quanta_simulated;
+    last_chip_time = 0.0;
+}
+
+}  // namespace synpa::uarch

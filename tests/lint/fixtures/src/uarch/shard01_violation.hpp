@@ -1,0 +1,18 @@
+// SHARD-01 header fixture: non-const statics in headers give every
+// includer one shared mutable instance — racy across shards.
+#pragma once
+
+namespace synpa::uarch {
+
+inline int next_event_id() {
+    static int counter = 0;  // line 8: flagged (mutable static local in header)
+    return ++counter;
+}
+
+class EventBook {
+public:
+    static int open_books;  // line 14: flagged (mutable static data member)
+    static constexpr int kShelfCount = 4;  // fine: constexpr
+};
+
+}  // namespace synpa::uarch

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compile database with a suppression baseline.
+
+Wraps clang-tidy the same way tools/synpa_lint.py wraps the determinism
+checks: findings are keyed move-tolerantly (path + check + hash of the
+flagged line's text) against a checked-in baseline, so the scan fails only
+on *new* findings while the baseline monotonically shrinks.
+
+The container this repo builds in does not ship clang-tidy; without
+--require the script prints a notice and exits 0 so local `ctest` stays
+green.  CI installs clang-tidy via apt and passes --require.
+
+Exit status: 0 clean/skipped, 1 new findings, 2 usage error or
+(with --require) missing tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+# clang-tidy output: <file>:<line>:<col>: warning: <msg> [<check>]
+DIAG_RE = re.compile(
+    r"^(?P<file>/[^:]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[a-z0-9.,-]+)\]$")
+
+SKIP_PREFIXES = ("tests/lint/fixtures/",)
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    candidates = [explicit] if explicit else []
+    candidates += ["clang-tidy"] + [f"clang-tidy-{v}" for v in
+                                    range(20, 13, -1)]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    return None
+
+
+def compile_db_files(build_dir: Path, root: Path) -> list[Path]:
+    db = build_dir / "compile_commands.json"
+    if not db.exists():
+        return []
+    files = set()
+    for entry in json.loads(db.read_text()):
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = (Path(entry["directory"]) / f).resolve()
+        try:
+            rel = f.relative_to(root)
+        except ValueError:
+            continue
+        if str(rel).startswith(SKIP_PREFIXES):
+            continue
+        files.add(f)
+    return sorted(files)
+
+
+def finding_key(rel: str, check: str, line_text: str) -> str:
+    digest = hashlib.sha1(
+        f"{check}|{line_text.strip()}".encode()).hexdigest()[:16]
+    return f"{rel}|{check}|{digest}"
+
+
+def run_one(clang_tidy: str, build_dir: Path, root: Path, f: Path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", str(f)],
+        capture_output=True, text=True)
+    findings = []
+    line_cache: dict[Path, list[str]] = {}
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        path = Path(m.group("file")).resolve()
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            continue
+        if rel.startswith(SKIP_PREFIXES):
+            continue
+        if path not in line_cache:
+            try:
+                line_cache[path] = path.read_text(errors="replace").splitlines()
+            except OSError:
+                line_cache[path] = []
+        lineno = int(m.group("line"))
+        src = line_cache[path]
+        text = src[lineno - 1] if 0 < lineno <= len(src) else ""
+        findings.append({
+            "path": rel, "line": lineno, "check": m.group("check"),
+            "message": m.group("msg"),
+            "key": finding_key(rel, m.group("check"), text),
+        })
+    return findings
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", type=Path, default=None,
+                    help="build tree holding compile_commands.json "
+                         "(default: <root>/build)")
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parents[1])
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="default: <root>/tools/clang_tidy_baseline.json")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--report", type=Path, default=None,
+                    help="write the new-findings report to this file")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: search PATH, "
+                         "including versioned names)")
+    ap.add_argument("--require", action="store_true",
+                    help="fail instead of skipping when clang-tidy or the "
+                         "compile database is missing (CI mode)")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=multiprocessing.cpu_count())
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    build_dir = (args.build_dir or root / "build").resolve()
+    baseline_path = args.baseline or root / "tools" / "clang_tidy_baseline.json"
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH"
+              + ("" if args.require else " — skipping (install clang-tidy, "
+                 "or run in CI where it is provisioned)"),
+              file=sys.stderr)
+        return 2 if args.require else 0
+
+    files = compile_db_files(build_dir, root)
+    if not files:
+        print(f"run_clang_tidy: no compile_commands.json under {build_dir} "
+              "(configure with cmake first; CMAKE_EXPORT_COMPILE_COMMANDS "
+              "is on by default)"
+              + ("" if args.require else " — skipping"), file=sys.stderr)
+        return 2 if args.require else 0
+
+    print(f"run_clang_tidy: {clang_tidy} over {len(files)} file(s), "
+          f"-j{args.jobs}", file=sys.stderr)
+    findings = []
+    with ThreadPoolExecutor(max_workers=max(1, args.jobs)) as pool:
+        for batch in pool.map(
+                lambda f: run_one(clang_tidy, build_dir, root, f), files):
+            findings.extend(batch)
+    # Header diagnostics repeat once per includer; dedupe on the stable key.
+    findings = list({f["key"]: f for f in findings}.values())
+    findings.sort(key=lambda f: (f["path"], f["line"], f["check"]))
+
+    if args.update_baseline:
+        baseline_path.write_text(json.dumps(
+            {"version": 1, "findings": sorted(f["key"] for f in findings)},
+            indent=2) + "\n")
+        print(f"run_clang_tidy: baseline updated with {len(findings)} "
+              f"finding(s) -> {baseline_path}")
+        return 0
+
+    baseline = set()
+    if baseline_path.exists():
+        baseline = set(json.loads(baseline_path.read_text()).get(
+            "findings", []))
+    new = [f for f in findings if f["key"] not in baseline]
+
+    report = "\n".join(
+        f"{f['path']}:{f['line']}: {f['check']}: {f['message']}" for f in new)
+    if args.report:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report + ("\n" if report else ""))
+    if new:
+        print(report)
+        print(f"run_clang_tidy: {len(new)} new finding(s) "
+              f"({len(findings) - len(new)} baselined)", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean"
+          f"{f' ({len(findings)} baselined)' if findings else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
