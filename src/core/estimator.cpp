@@ -1,31 +1,60 @@
 #include "core/estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "common/config.hpp"
 
 namespace synpa::core {
 
+double ema_deadband_default() {
+    return common::env_double("SYNPA_EMA_DEADBAND", 0.0);
+}
+
 SynpaEstimator::SynpaEstimator(model::InterferenceModel model, Options opts)
-    : model_(std::move(model)), opts_(opts) {}
+    : model_(std::move(model)), flat_(model_), opts_(opts) {}
+
+void SynpaEstimator::ema_update(int id, const model::CategoryVector& fresh) {
+    model::CategoryVector* est = estimates_.find(id);
+    if (est == nullptr) {
+        estimates_.insert_or_assign(id, fresh);
+        ++epochs_[id];
+        return;
+    }
+    const model::CategoryVector before = *est;
+    for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+        (*est)[c] = opts_.ema_alpha * fresh[c] + (1.0 - opts_.ema_alpha) * (*est)[c];
+    // Keep the estimate on the simplex after mixing.
+    double sum = 0.0;
+    for (double x : *est) sum += x;
+    if (sum > 1e-9)
+        for (double& x : *est) x /= sum;
+    // Deadband (when configured): an update that moves every category by
+    // less than the threshold is measurement noise, not behaviour — keep
+    // the stored value so the estimate (and its epoch) reaches a true
+    // steady state on stochastic platforms.
+    if (opts_.ema_deadband > 0.0) {
+        bool within = true;
+        for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+            if (std::abs((*est)[c] - before[c]) >= opts_.ema_deadband) {
+                within = false;
+                break;
+            }
+        if (within) {
+            *est = before;
+            return;
+        }
+    }
+    // Epoch moves only when the stored value actually changed: a task in a
+    // stable phase converges to a floating-point fixed point of the EMA,
+    // after which its cached costs stay valid indefinitely.
+    if (*est != before) ++epochs_[id];
+}
 
 void SynpaEstimator::observe(std::span<const sched::TaskObservation> observations) {
     common::FlatIdMap<const sched::TaskObservation*> by_id;
     for (const auto& o : observations) by_id[o.task_id] = &o;
-
-    auto ema_update = [&](int id, const model::CategoryVector& fresh) {
-        model::CategoryVector* est = estimates_.find(id);
-        if (est == nullptr) {
-            estimates_.insert_or_assign(id, fresh);
-            return;
-        }
-        for (std::size_t c = 0; c < model::kCategoryCount; ++c)
-            (*est)[c] = opts_.ema_alpha * fresh[c] + (1.0 - opts_.ema_alpha) * (*est)[c];
-        // Keep the estimate on the simplex after mixing.
-        double sum = 0.0;
-        for (double x : *est) sum += x;
-        if (sum > 1e-9)
-            for (double& x : *est) x /= sum;
-    };
 
     for (const auto& o : observations) {
         if (o.corunner_task_ids.empty()) {
@@ -34,15 +63,37 @@ void SynpaEstimator::observe(std::span<const sched::TaskObservation> observation
             continue;
         }
         if (o.corunner_task_ids.size() == 1) {
-            // A 2-group: one model inversion recovers both isolated vectors.
-            if (o.corunner_task_id < o.task_id) continue;  // handle each pair once
             const auto* partner = by_id.find(o.corunner_task_id);
-            if (partner == nullptr) continue;
+            if (partner != nullptr) {
+                // A fully observed 2-group: one inversion recovers both
+                // isolated vectors, owned by the lower-id member (whose
+                // observation we just confirmed present).
+                if (o.corunner_task_id < o.task_id) continue;  // handle each pair once
+                const model::ModelInverter inverter(model_, opts_.inversion);
+                const model::InversionResult inv =
+                    inverter.invert(o.breakdown.fractions(), (*partner)->breakdown.fractions());
+                ema_update(o.task_id, inv.st_i);
+                ema_update(o.corunner_task_id, inv.st_j);
+                continue;
+            }
+            // The partner retired mid-quantum (open system): its observation
+            // is gone, but the survivor still spent the quantum co-running
+            // and its counters carry that interference.  Synthesize the
+            // missing SMT-side fractions from the forward model on the
+            // current estimates and invert as usual, updating only the
+            // survivor — ownership falls to whichever member is present.
+            const model::CategoryVector partner_smt =
+                model_.predict(estimate(o.corunner_task_id), estimate(o.task_id));
+            double sum = 0.0;
+            for (const double x : partner_smt) sum += x;
+            if (sum <= 1e-9) continue;
+            model::CategoryVector partner_fractions{};
+            for (std::size_t c = 0; c < model::kCategoryCount; ++c)
+                partner_fractions[c] = partner_smt[c] / sum;
             const model::ModelInverter inverter(model_, opts_.inversion);
             const model::InversionResult inv =
-                inverter.invert(o.breakdown.fractions(), (*partner)->breakdown.fractions());
+                inverter.invert(o.breakdown.fractions(), partner_fractions);
             ema_update(o.task_id, inv.st_i);
-            ema_update(o.corunner_task_id, inv.st_j);
             continue;
         }
         // A wider group (SMT-4): the pairwise inversion has no exact k-way
@@ -75,28 +126,56 @@ model::CategoryVector SynpaEstimator::estimate(int task_id) const {
 double SynpaEstimator::pair_weight(int task_u, int task_v) const {
     const model::CategoryVector eu = estimate(task_u);
     const model::CategoryVector ev = estimate(task_v);
-    return model_.predict_slowdown(eu, ev) + model_.predict_slowdown(ev, eu);
+    return flat_.predict_slowdown(eu, ev) + flat_.predict_slowdown(ev, eu);
 }
 
 double SynpaEstimator::solo_weight(int task_id) const {
-    return model_.predict_slowdown(estimate(task_id), model::CategoryVector{});
+    return flat_.predict_slowdown(estimate(task_id), model::CategoryVector{});
 }
 
+namespace {
+
+/// Stack-first member-vector gather: Step-2 groups are at most SMT-width
+/// wide, so the common case never touches the heap.
+constexpr std::size_t kInlineMembers = 8;
+
+}  // namespace
+
 double SynpaEstimator::group_weight(std::span<const int> task_ids) const {
-    std::vector<model::CategoryVector> members;
-    members.reserve(task_ids.size());
-    for (int id : task_ids) members.push_back(estimate(id));
-    return model::predict_group_slowdown(model_, members);
+    std::array<model::CategoryVector, kInlineMembers> inline_buf;
+    std::vector<model::CategoryVector> heap;
+    model::CategoryVector* members = inline_buf.data();
+    if (task_ids.size() > kInlineMembers) {
+        heap.resize(task_ids.size());
+        members = heap.data();
+    }
+    for (std::size_t i = 0; i < task_ids.size(); ++i) members[i] = estimate(task_ids[i]);
+    return flat_.group_slowdown({members, task_ids.size()});
+}
+
+void SynpaEstimator::member_slowdowns(std::span<const int> task_ids,
+                                      std::vector<double>& out) const {
+    std::array<model::CategoryVector, kInlineMembers> inline_buf;
+    std::vector<model::CategoryVector> heap;
+    model::CategoryVector* members = inline_buf.data();
+    if (task_ids.size() > kInlineMembers) {
+        heap.resize(task_ids.size());
+        members = heap.data();
+    }
+    for (std::size_t i = 0; i < task_ids.size(); ++i) members[i] = estimate(task_ids[i]);
+    out.resize(task_ids.size());
+    flat_.member_slowdowns({members, task_ids.size()}, out);
 }
 
 std::vector<double> SynpaEstimator::member_slowdowns(std::span<const int> task_ids) const {
-    std::vector<model::CategoryVector> members;
-    members.reserve(task_ids.size());
-    for (int id : task_ids) members.push_back(estimate(id));
-    return model::predict_member_slowdowns(model_, members);
+    std::vector<double> out;
+    member_slowdowns(task_ids, out);
+    return out;
 }
 
-void SynpaEstimator::forget(int task_id) { estimates_.erase(task_id); }
+void SynpaEstimator::forget(int task_id) {
+    if (estimates_.erase(task_id)) ++epochs_[task_id];
+}
 
 void SynpaEstimator::transfer(int old_task_id, int new_task_id) {
     const model::CategoryVector* est = estimates_.find(old_task_id);
@@ -105,6 +184,8 @@ void SynpaEstimator::transfer(int old_task_id, int new_task_id) {
     const model::CategoryVector moved = *est;
     estimates_.insert_or_assign(new_task_id, moved);
     estimates_.erase(old_task_id);
+    ++epochs_[old_task_id];
+    ++epochs_[new_task_id];
 }
 
 }  // namespace synpa::core

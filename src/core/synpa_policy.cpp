@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/flat_map.hpp"
 #include "obs/trace.hpp"
 #include "sched/baselines.hpp"
@@ -15,8 +18,15 @@ namespace synpa::core {
 namespace {
 
 /// Greedy pair selection: repeatedly takes the lightest remaining edge.
+/// Enforces the Matcher odd-N contract: on an odd (or zero) vertex count a
+/// perfect matching does not exist, and silently leaving a vertex with
+/// mate == -1 would hand callers a malformed allocation — throw like every
+/// other solver so callers route through min_weight_partial instead.
 std::vector<std::pair<int, int>> greedy_pairs(const matching::WeightMatrix& w) {
     const std::size_t n = w.size();
+    if (n == 0 || n % 2 != 0)
+        throw std::invalid_argument(
+            "GreedyMatcher: perfect matching requires an even vertex count >= 2");
     struct Edge {
         double weight;
         std::size_t u, v;
@@ -67,6 +77,8 @@ public:
 };
 
 }  // namespace
+
+bool weight_cache_default() { return common::env_int("SYNPA_WEIGHT_CACHE", 1) != 0; }
 
 const char* objective_name(Objective objective) noexcept {
     switch (objective) {
@@ -120,24 +132,70 @@ void SynpaPolicy::set_model(model::InterferenceModel model) {
 
 void SynpaPolicy::reset_estimate(int task_id) { estimator_.forget(task_id); }
 
-double SynpaPolicy::pair_cost(int task_u, int task_v) const {
+void SynpaPolicy::on_phase_alarm(int task_id) { estimator_.bump_epoch(task_id); }
+
+double SynpaPolicy::pair_cost_uncached(int task_u, int task_v) const {
     if (opts_.objective == Objective::kTotalSlowdown)
         return estimator_.pair_weight(task_u, task_v);
     const std::array<int, 2> ids = {task_u, task_v};
-    return objective_cost(opts_.objective, estimator_.member_slowdowns(ids));
+    estimator_.member_slowdowns(ids, slowdown_scratch_);
+    return objective_cost(opts_.objective, slowdown_scratch_);
 }
 
-double SynpaPolicy::solo_cost(int task_id) const {
+double SynpaPolicy::solo_cost_uncached(int task_id) const {
     if (opts_.objective == Objective::kTotalSlowdown)
         return estimator_.solo_weight(task_id);
     const std::array<int, 1> ids = {task_id};
-    return objective_cost(opts_.objective, estimator_.member_slowdowns(ids));
+    estimator_.member_slowdowns(ids, slowdown_scratch_);
+    return objective_cost(opts_.objective, slowdown_scratch_);
+}
+
+double SynpaPolicy::group_cost_uncached(std::span<const int> task_ids) const {
+    if (opts_.objective == Objective::kTotalSlowdown)
+        return estimator_.group_weight(task_ids);
+    estimator_.member_slowdowns(task_ids, slowdown_scratch_);
+    return objective_cost(opts_.objective, slowdown_scratch_);
+}
+
+double SynpaPolicy::pair_cost(int task_u, int task_v) const {
+    if (!opts_.weight_cache) return pair_cost_uncached(task_u, task_v);
+    cache_.sync_model_epoch(estimator_.model_epoch());
+    const std::uint64_t eu = estimator_.estimate_epoch(task_u);
+    const std::uint64_t ev = estimator_.estimate_epoch(task_v);
+    if (const double* hit = cache_.find_pair(task_u, eu, task_v, ev)) return *hit;
+    const double cost = pair_cost_uncached(task_u, task_v);
+    cache_.store_pair(task_u, eu, task_v, ev, cost);
+    return cost;
+}
+
+double SynpaPolicy::solo_cost(int task_id) const {
+    if (!opts_.weight_cache) return solo_cost_uncached(task_id);
+    cache_.sync_model_epoch(estimator_.model_epoch());
+    const std::uint64_t epoch = estimator_.estimate_epoch(task_id);
+    if (const double* hit = cache_.find_solo(task_id, epoch)) return *hit;
+    const double cost = solo_cost_uncached(task_id);
+    cache_.store_solo(task_id, epoch, cost);
+    return cost;
 }
 
 double SynpaPolicy::group_cost(std::span<const int> task_ids) const {
-    if (opts_.objective == Objective::kTotalSlowdown)
-        return estimator_.group_weight(task_ids);
-    return objective_cost(opts_.objective, estimator_.member_slowdowns(task_ids));
+    // Member order matters to the key: nonlinear objectives fold per-member
+    // slowdowns in member order, so permutations are distinct cache lines.
+    const std::size_t k = task_ids.size();
+    if (!opts_.weight_cache || k == 0 || k > WeightCache::kMaxGroup)
+        return group_cost_uncached(task_ids);
+    cache_.sync_model_epoch(estimator_.model_epoch());
+    WeightCache::GroupKey key;
+    key.fill(-1);
+    std::array<std::uint64_t, WeightCache::kMaxGroup> epochs{};
+    for (std::size_t i = 0; i < k; ++i) {
+        key[i] = task_ids[i];
+        epochs[i] = estimator_.estimate_epoch(task_ids[i]);
+    }
+    if (const double* hit = cache_.find_group(key, k, epochs)) return *hit;
+    const double cost = group_cost_uncached(task_ids);
+    cache_.store_group(key, k, epochs, cost);
+    return cost;
 }
 
 const matching::Matcher& SynpaPolicy::matcher() const {
@@ -207,8 +265,9 @@ sched::CoreAllocation SynpaPolicy::reallocate(
 
     const sched::TopologyView topo = sched::observed_topology(observations);
     if (topo.chips <= 1) {
-        sched::CoreAllocation alloc = allocate_chip(observations);
+        sched::CoreAllocation alloc = allocate_chip(observations, 0);
         trace_allocation(alloc);
+        publish_cache_metrics();
         return alloc;
     }
 
@@ -225,13 +284,75 @@ sched::CoreAllocation SynpaPolicy::reallocate(
     };
     sched::CoreAllocation alloc = sched::allocate_across_chips(
         observations, topo, solo, pair, opts_.cross_chip_penalty,
-        [this](std::span<const sched::TaskObservation> local,
-               std::span<const std::size_t>) { return allocate_chip(local); });
+        [this](int chip, std::span<const sched::TaskObservation> local,
+               std::span<const std::size_t>) { return allocate_chip(local, chip); });
     trace_allocation(alloc);
+    publish_cache_metrics();
     return alloc;
 }
 
+void SynpaPolicy::publish_cache_metrics() const {
+    if (tracer_ == nullptr || !opts_.weight_cache) return;
+    const WeightCache::Stats& s = cache_.stats();
+    obs::MetricsRegistry& m = tracer_->metrics();
+    m.counter("weight_cache.hits").add(s.hits - published_.hits);
+    m.counter("weight_cache.misses").add(s.misses - published_.misses);
+    m.counter("weight_cache.solve_reuse").add(s.solve_reuse - published_.solve_reuse);
+    const std::uint64_t lookups = s.hits + s.misses;
+    // An all-clean quantum performs no lookups at all (the solve memo
+    // answers first); an empty denominator therefore means "everything
+    // reused", not "no data".
+    m.gauge("weight_cache.hit_rate")
+        .set(lookups == 0 ? 1.0 : static_cast<double>(s.hits) / static_cast<double>(lookups));
+    published_ = s;
+}
+
 sched::CoreAllocation SynpaPolicy::allocate_chip(
+    std::span<const sched::TaskObservation> observations, int chip) {
+    if (observations.empty()) return {};
+    if (!opts_.weight_cache || chip < 0) return allocate_chip_uncached(observations);
+    cache_.sync_model_epoch(estimator_.model_epoch());
+
+    // Flatten everything the uncached solve reads into one key: per task
+    // its id, incumbent core, co-runner list and estimate epoch, plus the
+    // chip shape and the model epoch.  place_groups/place_pairs consume
+    // only task_id + core; the hysteresis path reads corunner_task_id; all
+    // costs are functions of (estimates, objective) and the estimate epochs
+    // name the estimate values exactly.  A key match therefore certifies
+    // the solver would reproduce the memoized allocation bit for bit.
+    const auto encode = [](int v) {
+        return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    };
+    std::vector<std::uint64_t> key;
+    key.reserve(4 + observations.size() * 6);
+    key.push_back(observations.size());
+    key.push_back(encode(sched::observed_smt_ways(observations)));
+    key.push_back(sched::observed_total_cores(observations));
+    key.push_back(estimator_.model_epoch());
+    for (const auto& o : observations) {
+        key.push_back(encode(o.task_id));
+        key.push_back(encode(o.core));
+        key.push_back(encode(o.corunner_task_id));
+        key.push_back(o.corunner_task_ids.size());
+        for (const int partner : o.corunner_task_ids) key.push_back(encode(partner));
+        key.push_back(estimator_.estimate_epoch(o.task_id));
+    }
+
+    if (static_cast<std::size_t>(chip) >= solve_memo_.size())
+        solve_memo_.resize(static_cast<std::size_t>(chip) + 1);
+    SolveMemo& memo = solve_memo_[static_cast<std::size_t>(chip)];
+    if (memo.valid && memo.key == key) {
+        ++cache_.stats().solve_reuse;
+        return memo.alloc;
+    }
+    sched::CoreAllocation alloc = allocate_chip_uncached(observations);
+    memo.key = std::move(key);
+    memo.alloc = alloc;
+    memo.valid = true;
+    return alloc;
+}
+
+sched::CoreAllocation SynpaPolicy::allocate_chip_uncached(
     std::span<const sched::TaskObservation> observations) {
     if (observations.empty()) return {};
     const std::size_t n = observations.size();
@@ -328,9 +449,15 @@ sched::CoreAllocation SynpaPolicy::allocate_chip(
 }
 
 void SynpaPolicy::on_task_replaced(int old_task_id, int new_task_id) {
+    // transfer() bumps both epochs, so cached costs involving either id
+    // recompute; the retired id's cache row is dropped outright.
     estimator_.transfer(old_task_id, new_task_id);
+    cache_.forget(old_task_id);
 }
 
-void SynpaPolicy::on_task_finished(int task_id) { estimator_.forget(task_id); }
+void SynpaPolicy::on_task_finished(int task_id) {
+    estimator_.forget(task_id);  // bumps the epoch
+    cache_.forget(task_id);
+}
 
 }  // namespace synpa::core

@@ -16,15 +16,23 @@
 // symmetrized pairwise terms, solved by matching::min_weight_grouping.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/estimator.hpp"
+#include "core/weight_cache.hpp"
 #include "matching/matching.hpp"
 #include "model/interference_model.hpp"
 #include "sched/policy.hpp"
 #include "sched/topology.hpp"
 
 namespace synpa::core {
+
+/// The SYNPA_WEIGHT_CACHE default (on unless the knob says 0) — the
+/// incremental Step-2/Step-3 path; off runs the legacy full recompute.
+/// Read once per Options construction through common::env_int.
+bool weight_cache_default();
 
 /// Pair-selection strategy for Step 3.
 enum class PairSelector {
@@ -73,6 +81,13 @@ public:
         /// task (sched/topology.hpp) — the policy-side counterpart of the
         /// platform's cross-chip warmup window.
         double cross_chip_penalty = sched::kDefaultCrossChipPenalty;
+        /// Incremental allocation (default from SYNPA_WEIGHT_CACHE, on):
+        /// Step-2 costs are memoized in a core::WeightCache keyed on the
+        /// estimator's per-task estimate epochs, and a whole chip's solve
+        /// is reused verbatim when nothing it depends on moved.  Results
+        /// are bit-identical to the legacy recompute (off) at every
+        /// SYNPA_SIM_THREADS / width / chip count.
+        bool weight_cache = weight_cache_default();
     };
 
     explicit SynpaPolicy(model::InterferenceModel model)
@@ -97,6 +112,19 @@ public:
     /// from a fresh inversion (phase-change reaction).
     void reset_estimate(int task_id);
 
+    /// Phase-change alarm hook (routed from online::AdaptiveSynpaPolicy's
+    /// PhaseDetector): bumps the task's estimate epoch so every cached
+    /// cost involving it recomputes next quantum.  The estimate value is
+    /// deliberately untouched — see the adaptive policy's alarm rationale —
+    /// so allocations are unchanged; only cache validity is.
+    void on_phase_alarm(int task_id);
+
+    /// Cumulative weight-cache statistics (all zero when the cache is
+    /// disabled): cost-lookup hits/misses plus whole-chip solve reuses.
+    const WeightCache::Stats& weight_cache_stats() const noexcept {
+        return cache_.stats();
+    }
+
     /// Step 2+3 on an explicit weight matrix (exposed for tests/benches).
     std::vector<std::pair<int, int>> select_pairs(const matching::WeightMatrix& weights) const;
 
@@ -111,8 +139,14 @@ public:
 
 private:
     /// Steps 2+3 on one chip's (possibly chip-localized) observations; the
-    /// estimator was already refreshed for the quantum.
+    /// estimator was already refreshed for the quantum.  `chip` is the
+    /// stable chip ordinal indexing the per-chip solve memo (0 on a
+    /// single-chip platform); when the cache is on and nothing the solve
+    /// depends on moved since the chip's last solve, the memoized
+    /// allocation is returned without rebuilding weights or re-solving.
     sched::CoreAllocation allocate_chip(
+        std::span<const sched::TaskObservation> observations, int chip);
+    sched::CoreAllocation allocate_chip_uncached(
         std::span<const sched::TaskObservation> observations);
 
     /// Emits a kAllocation event for the decided grouping (group membership
@@ -120,12 +154,33 @@ private:
     /// only when the tracer wants allocation events.
     void trace_allocation(const sched::CoreAllocation& alloc) const;
 
+    /// Folds cumulative cache statistics into the tracer's metrics
+    /// registry (weight_cache.* counters + hit-rate gauge).
+    void publish_cache_metrics() const;
+
     /// Objective-folded candidate costs.  Under kTotalSlowdown these are
     /// exactly the estimator's pair/solo/group weights (the bit-exact
-    /// golden path); other objectives fold the per-member slowdowns.
+    /// golden path); other objectives fold the per-member slowdowns.  The
+    /// public trio answers from the WeightCache when enabled — a hit
+    /// returns the same bits the *_uncached twin would recompute, because
+    /// entries are keyed on the estimate epochs of every contributing
+    /// task.
     double pair_cost(int task_u, int task_v) const;
     double solo_cost(int task_id) const;
     double group_cost(std::span<const int> task_ids) const;
+    double pair_cost_uncached(int task_u, int task_v) const;
+    double solo_cost_uncached(int task_id) const;
+    double group_cost_uncached(std::span<const int> task_ids) const;
+
+    /// One chip's memoized solve: the key flattens every allocate_chip
+    /// input (task ids, incumbent cores, co-runner lists, estimate
+    /// epochs, width, core count, model epoch), so a key match certifies
+    /// the uncached solve would reproduce `alloc` bit for bit.
+    struct SolveMemo {
+        std::vector<std::uint64_t> key;
+        sched::CoreAllocation alloc;
+        bool valid = false;
+    };
 
     model::InterferenceModel model_;
     Options opts_;
@@ -133,6 +188,11 @@ private:
     matching::BlossomMatcher blossom_;
     matching::SubsetDpMatcher subset_dp_;
     obs::Tracer* tracer_ = nullptr;  ///< flight recorder (not owned)
+    mutable WeightCache cache_;      ///< bit-exact memo; mutable: caching is
+                                     ///< invisible to logical const-ness
+    mutable std::vector<double> slowdown_scratch_;  ///< member_slowdowns reuse
+    std::vector<SolveMemo> solve_memo_;             ///< per chip ordinal
+    mutable WeightCache::Stats published_{};        ///< metrics high-water mark
 };
 
 }  // namespace synpa::core

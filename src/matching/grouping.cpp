@@ -130,25 +130,68 @@ double group_cost(const std::vector<int>& group, const GroupCost& cost) {
     return group.empty() ? 0.0 : cost(group);
 }
 
+/// Greedy/warm seeding + dirty-restricted local search.  With a null
+/// `incumbent` this is the cold heuristic: every task is greedily seeded
+/// and every bucket starts dirty, so the search scans everything — the
+/// original cold behaviour, decision for decision.  With an incumbent,
+/// tasks keep their previous bucket, only buckets whose membership changed
+/// start dirty, and the search examines a (move/swap) candidate only when
+/// at least one side is dirty — the re-solve cost scales with the dirty
+/// set, not with n (near-O(dirty)).  Clean incumbent buckets were already
+/// locally optimal against each other, so skipping clean-clean candidates
+/// can at worst return a different (never unvalidated) local optimum; the
+/// warm path is therefore *not* used where bit-identity to a cold solve is
+/// required.
 GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t width,
-                                  const GroupCost& cost) {
-    // Greedy seeding over min(cores, n) buckets: each task (index order)
-    // joins the bucket with the cheapest incremental cost among those with
-    // room; ties resolve to the lowest bucket index.  Current bucket costs
-    // are cached so each candidate needs one oracle call, not two.
+                                  const GroupCost& cost,
+                                  const std::vector<std::vector<int>>* incumbent) {
     const std::size_t buckets = std::min(cores, n);
     std::vector<std::vector<int>> groups(buckets);
-    std::vector<double> seeded_cost(buckets, 0.0);
+    std::vector<double> bucket_cost(buckets, 0.0);
+    std::vector<char> dirty(buckets, incumbent == nullptr ? 1 : 0);
+
+    const auto insert_member = [](std::vector<int>& g, int task) {
+        g.insert(std::upper_bound(g.begin(), g.end(), task), task);
+    };
+    const auto erase_member = [](std::vector<int>& g, int task) {
+        g.erase(std::find(g.begin(), g.end(), task));
+    };
+
+    // Warm seeding: tasks resume their incumbent bucket.  Ids outside
+    // [0, n), duplicates and members beyond the width cap fall through to
+    // greedy seeding below (they become part of the dirty set).
+    std::vector<char> placed(n, 0);
+    if (incumbent != nullptr) {
+        const std::size_t seedable = std::min(incumbent->size(), buckets);
+        for (std::size_t b = 0; b < seedable; ++b) {
+            for (const int id : (*incumbent)[b]) {
+                if (id < 0 || static_cast<std::size_t>(id) >= n) continue;
+                if (placed[static_cast<std::size_t>(id)] != 0) continue;
+                if (groups[b].size() >= width) break;
+                groups[b].push_back(id);
+                placed[static_cast<std::size_t>(id)] = 1;
+            }
+            std::sort(groups[b].begin(), groups[b].end());
+            bucket_cost[b] = group_cost(groups[b], cost);
+        }
+    }
+
+    // Greedy seeding of the unplaced tasks (all of them on a cold start):
+    // each (index order) joins the bucket with the cheapest incremental
+    // cost among those with room; ties resolve to the lowest bucket index.
+    // Current bucket costs are cached so each candidate needs one oracle
+    // call, not two.
     for (std::size_t t = 0; t < n; ++t) {
+        if (placed[t] != 0) continue;
         std::size_t best_b = buckets;
         double best_delta = kInf;
         double best_joined_cost = 0.0;
         for (std::size_t b = 0; b < buckets; ++b) {
             if (groups[b].size() >= width) continue;
             std::vector<int> joined = groups[b];
-            joined.push_back(static_cast<int>(t));  // t exceeds every member
+            insert_member(joined, static_cast<int>(t));
             const double joined_cost = cost(joined);
-            const double delta = joined_cost - seeded_cost[b];
+            const double delta = joined_cost - bucket_cost[b];
             if (delta < best_delta) {
                 best_delta = delta;
                 best_b = b;
@@ -157,8 +200,9 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
         }
         if (best_b == buckets)
             throw std::logic_error("min_weight_grouping: greedy seeding overflow");
-        groups[best_b].push_back(static_cast<int>(t));
-        seeded_cost[best_b] = best_joined_cost;
+        insert_member(groups[best_b], static_cast<int>(t));
+        bucket_cost[best_b] = best_joined_cost;
+        dirty[best_b] = 1;
     }
 
     // Local search: single-task moves and cross-group swaps, applied
@@ -167,16 +211,11 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
     // loop terminates; the pass cap only bounds pathological cost surfaces.
     // Per-bucket costs are cached (the GroupCost oracle is the expensive
     // part — for SYNPA it runs k model predictions per call) and updated
-    // only when a bucket actually changes.
+    // only when a bucket actually changes.  Candidates touching two clean
+    // buckets are skipped (on a cold start nothing is clean); an applied
+    // move dirties both buckets involved.
     constexpr double kEps = 1e-12;
     constexpr int kMaxPasses = 256;
-    const auto erase_member = [](std::vector<int>& g, int task) {
-        g.erase(std::find(g.begin(), g.end(), task));
-    };
-    const auto insert_member = [](std::vector<int>& g, int task) {
-        g.insert(std::upper_bound(g.begin(), g.end(), task), task);
-    };
-    std::vector<double> bucket_cost = std::move(seeded_cost);  // still current
     for (int pass = 0; pass < kMaxPasses; ++pass) {
         bool improved = false;
         for (std::size_t a = 0; a < buckets && !improved; ++a) {
@@ -185,9 +224,17 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
                 const double cost_a = bucket_cost[a];
                 std::vector<int> a_without = groups[a];
                 erase_member(a_without, task);
-                const double a_without_cost = group_cost(a_without, cost);
+                // Lazy: the donor-side cost is an oracle call, paid only
+                // when some (a, b) candidate is actually examined.
+                double a_without_cost = 0.0;
+                bool have_without = false;
                 for (std::size_t b = 0; b < buckets && !improved; ++b) {
                     if (b == a) continue;
+                    if (dirty[a] == 0 && dirty[b] == 0) continue;
+                    if (!have_without) {
+                        a_without_cost = group_cost(a_without, cost);
+                        have_without = true;
+                    }
                     const double cost_b = bucket_cost[b];
                     // Move task a->b.
                     if (groups[b].size() < width) {
@@ -201,6 +248,8 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
                             groups[b] = std::move(b_with);
                             bucket_cost[a] = a_without_cost;
                             bucket_cost[b] = b_with_cost;
+                            dirty[a] = 1;
+                            dirty[b] = 1;
                             improved = true;
                             break;  // re-scan from a stable snapshot
                         }
@@ -221,6 +270,8 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
                             groups[b] = std::move(new_b);
                             bucket_cost[a] = new_a_cost;
                             bucket_cost[b] = new_b_cost;
+                            dirty[a] = 1;
+                            dirty[b] = 1;
                             improved = true;
                             break;
                         }
@@ -231,11 +282,22 @@ GroupingResult heuristic_grouping(std::size_t n, std::size_t cores, std::size_t 
         if (!improved) break;
     }
 
+    // Assemble from the bucket-cost cache: every final bucket's cost was
+    // already produced by the oracle (seeding or the last improving move),
+    // so re-invoking the expensive oracle once per group here would buy
+    // nothing — sum the cached values in sorted-group order instead (the
+    // same summation order, hence the same bits, as recomputation).
+    std::vector<std::pair<std::vector<int>, double>> packed;
+    packed.reserve(buckets);
+    for (std::size_t b = 0; b < buckets; ++b)
+        if (!groups[b].empty()) packed.emplace_back(std::move(groups[b]), bucket_cost[b]);
+    std::sort(packed.begin(), packed.end());
     GroupingResult out;
-    for (auto& g : groups)
-        if (!g.empty()) out.groups.push_back(std::move(g));
-    std::sort(out.groups.begin(), out.groups.end());
-    for (const auto& g : out.groups) out.total_weight += cost(g);
+    out.groups.reserve(packed.size());
+    for (auto& [group, group_weight] : packed) {
+        out.total_weight += group_weight;
+        out.groups.push_back(std::move(group));
+    }
     return out;
 }
 
@@ -260,14 +322,33 @@ GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t
     check_grouping_args(n, cores, width, "min_weight_grouping");
     if (n == 0) return {};
     if (n <= kExactGroupingLimit) return exact_grouping(n, cores, width, cost);
-    return heuristic_grouping(n, cores, width, cost);
+    return heuristic_grouping(n, cores, width, cost, nullptr);
+}
+
+GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t width,
+                                   const GroupCost& cost,
+                                   const std::vector<std::vector<int>>& incumbent) {
+    check_grouping_args(n, cores, width, "min_weight_grouping");
+    if (n == 0) return {};
+    // Exact sizes stay exact: the DP visits every partition anyway, so a
+    // warm start could only change (worsen) nothing — ignore the incumbent.
+    if (n <= kExactGroupingLimit) return exact_grouping(n, cores, width, cost);
+    return heuristic_grouping(n, cores, width, cost, &incumbent);
 }
 
 GroupingResult min_weight_grouping_heuristic(std::size_t n, std::size_t cores,
                                              std::size_t width, const GroupCost& cost) {
     check_grouping_args(n, cores, width, "min_weight_grouping_heuristic");
     if (n == 0) return {};
-    return heuristic_grouping(n, cores, width, cost);
+    return heuristic_grouping(n, cores, width, cost, nullptr);
+}
+
+GroupingResult min_weight_grouping_heuristic(std::size_t n, std::size_t cores,
+                                             std::size_t width, const GroupCost& cost,
+                                             const std::vector<std::vector<int>>& incumbent) {
+    check_grouping_args(n, cores, width, "min_weight_grouping_heuristic");
+    if (n == 0) return {};
+    return heuristic_grouping(n, cores, width, cost, &incumbent);
 }
 
 double grouping_weight(const std::vector<std::vector<int>>& groups, const GroupCost& cost) {

@@ -157,6 +157,21 @@ StabilizedSelection stabilized_min_weight(const WeightMatrix& weights,
                                           double stability_bias = 0.002,
                                           double keep_threshold = 0.001);
 
+/// Warm-started overload: when the caller certifies via `inputs_unchanged`
+/// that neither the weights nor the incumbent pairing moved since
+/// `previous` was computed (SYNPA's weight cache keys this on the estimate
+/// epochs), the previous selection is returned verbatim — the solvers are
+/// deterministic, so a re-solve would reproduce it bit for bit.  Otherwise
+/// falls through to the cold path above.  `previous` may be null (always
+/// cold).
+StabilizedSelection stabilized_min_weight(const WeightMatrix& weights,
+                                          const std::vector<std::pair<int, int>>& current,
+                                          const Matcher& matcher,
+                                          double stability_bias,
+                                          double keep_threshold,
+                                          const StabilizedSelection* previous,
+                                          bool inputs_unchanged);
+
 // ------------------------------------------------- k-way core grouping --
 
 /// A width-generic core assignment: every task index 0..n-1 appears in
@@ -186,6 +201,22 @@ using GroupCost = std::function<double(std::span<const int>)>;
 GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t width,
                                    const GroupCost& cost);
 
+/// Warm-started overload: seeds the heuristic's local search from
+/// `incumbent` — a previous solve's groups (task indices in [0, n); stale
+/// ids, duplicates and overfull groups are tolerated and re-seeded
+/// greedily).  Only buckets whose membership changed relative to the
+/// incumbent are treated as dirty, and the local search examines a
+/// move/swap candidate only when at least one side is dirty, so a re-solve
+/// after k task arrivals/departures costs O(k · cores) oracle calls instead
+/// of a full cold solve.  An empty incumbent reproduces the cold heuristic
+/// bit for bit; exact sizes (n <= kExactGroupingLimit) ignore the incumbent
+/// and stay exact.  The warm result is a valid local optimum but may differ
+/// from the cold one, so callers needing replayable bit-identity must use
+/// the cold overload.
+GroupingResult min_weight_grouping(std::size_t n, std::size_t cores, std::size_t width,
+                                   const GroupCost& cost,
+                                   const std::vector<std::vector<int>>& incumbent);
+
 /// Largest n solved exactly by min_weight_grouping's subset DP.
 inline constexpr std::size_t kExactGroupingLimit = 12;
 
@@ -196,6 +227,13 @@ inline constexpr std::size_t kExactGroupingLimit = 12;
 /// live set grows from 12 to 13 tasks).
 GroupingResult min_weight_grouping_heuristic(std::size_t n, std::size_t cores,
                                              std::size_t width, const GroupCost& cost);
+
+/// Warm-started heuristic at any n (see the warm min_weight_grouping
+/// overload for the incumbent/dirty-set contract) — the entry point tests
+/// and benches use to measure warm-vs-cold re-solve cost directly.
+GroupingResult min_weight_grouping_heuristic(std::size_t n, std::size_t cores,
+                                             std::size_t width, const GroupCost& cost,
+                                             const std::vector<std::vector<int>>& incumbent);
 
 /// Recomputes the total weight of `groups` under `cost` (test/report helper).
 double grouping_weight(const std::vector<std::vector<int>>& groups, const GroupCost& cost);

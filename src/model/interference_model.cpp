@@ -30,6 +30,52 @@ InterferenceModel InterferenceModel::paper_table4() {
     return InterferenceModel(coeffs);
 }
 
+FlatModel::FlatModel(const InterferenceModel& model) {
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+        const CategoryCoefficients& k = model.coefficients(static_cast<Category>(c));
+        alpha_[c] = k.alpha;
+        beta_[c] = k.beta;
+        gamma_[c] = k.gamma;
+        rho_[c] = k.rho;
+    }
+}
+
+double FlatModel::predict_slowdown(const CategoryVector& st_i,
+                                   const CategoryVector& st_j) const noexcept {
+    // Mirror of InterferenceModel::predict + the p[0]+p[1]+p[2] fold: the
+    // per-category results land in a temporary first, so the summation
+    // order (and therefore every rounding step) matches bit for bit.
+    CategoryVector p{};
+    for (std::size_t c = 0; c < kCategoryCount; ++c)
+        p[c] = predict_category(c, st_i[c], st_j[c]);
+    return p[0] + p[1] + p[2];
+}
+
+double FlatModel::group_slowdown(std::span<const CategoryVector> members) const noexcept {
+    double total = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        CategoryVector pressure{};
+        for (std::size_t j = 0; j < members.size(); ++j) {
+            if (j == i) continue;
+            for (std::size_t c = 0; c < kCategoryCount; ++c) pressure[c] += members[j][c];
+        }
+        total += predict_slowdown(members[i], pressure);
+    }
+    return total;
+}
+
+void FlatModel::member_slowdowns(std::span<const CategoryVector> members,
+                                 std::span<double> out) const noexcept {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        CategoryVector pressure{};
+        for (std::size_t j = 0; j < members.size(); ++j) {
+            if (j == i) continue;
+            for (std::size_t c = 0; c < kCategoryCount; ++c) pressure[c] += members[j][c];
+        }
+        out[i] = predict_slowdown(members[i], pressure);
+    }
+}
+
 double predict_group_slowdown(const InterferenceModel& model,
                               std::span<const CategoryVector> members) {
     double total = 0.0;

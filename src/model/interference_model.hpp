@@ -66,6 +66,46 @@ private:
     std::array<CategoryCoefficients, kCategoryCount> coeffs_{};
 };
 
+/// Structure-of-arrays mirror of an InterferenceModel's coefficients for
+/// the allocator's hot Step-2 loops: Equation 1 evaluated straight off four
+/// contiguous arrays, and the group predictors writing into caller-provided
+/// buffers instead of allocating per call.  Every evaluation performs the
+/// exact floating-point operations of the InterferenceModel path in the
+/// same order, so results are bit-identical — the determinism contract the
+/// weight cache and the goldens rely on.  A FlatModel is a snapshot: it
+/// does not track later coefficient edits on the source model, so holders
+/// must rebuild it whenever they swap models (SynpaEstimator::set_model).
+class FlatModel {
+public:
+    FlatModel() = default;
+    explicit FlatModel(const InterferenceModel& model);
+
+    /// Equation 1 for one category — same expression, same rounding as
+    /// CategoryCoefficients::predict.
+    double predict_category(std::size_t c, double c_self, double c_corunner) const noexcept {
+        return alpha_[c] + beta_[c] * c_self + gamma_[c] * c_corunner +
+               rho_[c] * c_self * c_corunner;
+    }
+
+    /// Bit-identical to InterferenceModel::predict_slowdown.
+    double predict_slowdown(const CategoryVector& st_i,
+                            const CategoryVector& st_j) const noexcept;
+
+    /// Bit-identical to predict_group_slowdown(model, members).
+    double group_slowdown(std::span<const CategoryVector> members) const noexcept;
+
+    /// Bit-identical to predict_member_slowdowns(model, members), written
+    /// into `out` (out.size() must equal members.size()).
+    void member_slowdowns(std::span<const CategoryVector> members,
+                          std::span<double> out) const noexcept;
+
+private:
+    std::array<double, kCategoryCount> alpha_{};
+    std::array<double, kCategoryCount> beta_{};
+    std::array<double, kCategoryCount> gamma_{};
+    std::array<double, kCategoryCount> rho_{};
+};
+
 /// Predicted combined badness of co-scheduling all `members` on one SMT
 /// core: each member evaluated by Equation 1 against the superposed
 /// category pressure of every other member.  Because Equation 1 is affine

@@ -67,6 +67,8 @@ def row_summary(b: dict) -> dict:
         out["items_per_second"] = b["items_per_second"]
     if "sim_shards" in b:
         out["sim_shards"] = int(b["sim_shards"])
+    if "oracle_calls" in b:
+        out["oracle_calls"] = b["oracle_calls"]
     return out
 
 
@@ -102,6 +104,33 @@ def platform_speedups(rows: list[dict]) -> list[dict]:
             }
         )
     return speedups
+
+
+_GROUPING_N_RE = re.compile(r"^BM_GroupingWarmArrival/(\d+)")
+
+
+def grouping_warm_vs_cold(rows: list[dict]) -> list[dict]:
+    """Cold-over-warm re-solve cost of the k-way grouping after a single
+    task arrival, per problem size.  oracle_calls (GroupCost evaluations
+    per solve) is the machine-independent measure; wall time rides along.
+    The warm path's dirty-set local search should make the ratio large
+    (the ISSUE floor is 5x at n=512)."""
+    by_name = {r["name"]: r for r in rows}
+    out = []
+    for r in rows:
+        m = _GROUPING_N_RE.match(r["name"])
+        if not m:
+            continue
+        cold = by_name.get(r["name"].replace("BM_GroupingWarmArrival", "BM_GroupingColdResolve"))
+        if not cold:
+            continue
+        entry = {"n": int(m.group(1))}
+        if cold.get("oracle_calls") and r.get("oracle_calls"):
+            entry["cold_over_warm_oracle_calls"] = cold["oracle_calls"] / r["oracle_calls"]
+        if cold.get("real_time_ns") and r.get("real_time_ns"):
+            entry["cold_over_warm_time"] = cold["real_time_ns"] / r["real_time_ns"]
+        out.append(entry)
+    return out
 
 
 def cpu_model() -> str:
@@ -216,6 +245,8 @@ def main() -> int:
             ctx = doc.get("context", {})
             snapshot["host"]["benchmark_num_cpus"] = ctx.get("num_cpus")
             snapshot["host"]["library_build_type"] = ctx.get("library_build_type")
+        if bench == "bench_matching":
+            entry["grouping_warm_vs_cold"] = grouping_warm_vs_cold(rows)
         snapshot["benchmarks"][bench] = entry
 
     if args.check:
@@ -228,6 +259,15 @@ def main() -> int:
     print(f"wrote {args.output}")
     for s in snapshot["benchmarks"]["bench_sim_throughput"].get("parallel_speedups", []):
         print(f"  {s['name']}: {s['speedup_vs_serial']:.2f}x")
+    for g in snapshot["benchmarks"]["bench_matching"].get("grouping_warm_vs_cold", []):
+        calls = g.get("cold_over_warm_oracle_calls")
+        time = g.get("cold_over_warm_time")
+        print(
+            f"  grouping n={g['n']}: cold/warm = "
+            f"{calls:.1f}x oracle calls, {time:.1f}x time"
+            if calls and time
+            else f"  grouping n={g['n']}: incomplete counters"
+        )
     return 0
 
 
