@@ -1,0 +1,53 @@
+// The Fleet: N identical, independent serving nodes (uarch::Platforms with
+// node-local policies) composed behind the admission front end.  Mirrors
+// how the family-of-policies follow-up splits a shared per-node estimator
+// from the objective on top: SYNPA (or any registered policy) runs locally
+// on each node, while a fleet policy (policy.hpp) decides node placement.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/node.hpp"
+#include "sched/registry.hpp"
+#include "uarch/sim_config.hpp"
+
+namespace synpa::fleet {
+
+/// How to build a fleet: the node shape, how many, and which registered
+/// sched policy runs node-locally.
+struct FleetConfig {
+    int nodes = 4;
+    uarch::SimConfig node_config{};
+    /// Any name from sched::registered_policies(); each node gets its own
+    /// instance with a per-node derived seed.
+    std::string node_policy = "synpa";
+    sched::PolicyConfig policy_config{};
+    /// Build a per-node SynpaEstimator for fleet-level interference scoring
+    /// (requires policy_config.model).  Policies that never score leave it
+    /// off and skip the per-quantum inversion work.
+    bool with_estimators = false;
+};
+
+class Fleet {
+public:
+    explicit Fleet(const FleetConfig& cfg);
+
+    int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+    FleetNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+    const FleetNode& node(int i) const { return *nodes_.at(static_cast<std::size_t>(i)); }
+
+    /// Hardware contexts across every node.
+    int total_capacity() const noexcept;
+    /// Resident tasks across every node.
+    int live_count() const noexcept;
+
+private:
+    /// unique_ptr: FleetNode owns a Platform whose chips must never
+    /// relocate, and nodes are stepped from worker threads holding raw
+    /// pointers.
+    std::vector<std::unique_ptr<FleetNode>> nodes_;
+};
+
+}  // namespace synpa::fleet

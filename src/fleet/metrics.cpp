@@ -1,0 +1,90 @@
+#include "fleet/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace synpa::fleet {
+namespace {
+
+ClassSummary summarize_class(std::span<const FleetResult> runs,
+                             const scenario::SloClass* cls) {
+    ClassSummary s;
+    std::vector<double> slowdowns;
+    double queue_sum = 0.0;
+    double slowdown_sum = 0.0;
+    for (const FleetResult& result : runs)
+        for (const FleetTaskRecord& rec : result.tasks) {
+            if (cls != nullptr && rec.slo != *cls) continue;
+            ++s.planned;
+            if (!rec.completed) {
+                ++s.slo_violations;
+                continue;
+            }
+            ++s.completed;
+            if (!rec.deadline_met) ++s.slo_violations;
+            slowdowns.push_back(rec.slowdown);
+            slowdown_sum += rec.slowdown;
+            queue_sum += rec.queue_quanta;
+        }
+    if (s.planned > 0)
+        s.violation_rate =
+            static_cast<double>(s.slo_violations) / static_cast<double>(s.planned);
+    if (!slowdowns.empty()) {
+        std::sort(slowdowns.begin(), slowdowns.end());
+        s.mean_slowdown = slowdown_sum / static_cast<double>(slowdowns.size());
+        s.p50_slowdown = common::percentile_sorted(slowdowns, 0.50);
+        s.p99_slowdown = common::percentile_sorted(slowdowns, 0.99);
+        s.p999_slowdown = common::percentile_sorted(slowdowns, 0.999);
+        s.mean_queue_quanta = queue_sum / static_cast<double>(slowdowns.size());
+    }
+    return s;
+}
+
+}  // namespace
+
+FleetSummary summarize(const FleetResult& result) { return summarize({&result, 1}); }
+
+FleetSummary summarize(std::span<const FleetResult> runs) {
+    FleetSummary s;
+    const scenario::SloClass lc = scenario::SloClass::kLatencyCritical;
+    const scenario::SloClass batch = scenario::SloClass::kBatch;
+    s.all = summarize_class(runs, nullptr);
+    s.latency_critical = summarize_class(runs, &lc);
+    s.batch = summarize_class(runs, &batch);
+    double quanta = 0.0, preemptions = 0.0;
+    std::size_t met = 0, completed = 0;
+    for (const FleetResult& result : runs) {
+        quanta += static_cast<double>(result.quanta_executed);
+        preemptions += static_cast<double>(result.preemptions);
+        completed += result.completed_tasks;
+        for (const FleetTaskRecord& rec : result.tasks)
+            if (rec.completed && rec.deadline_met) ++met;
+    }
+    if (quanta > 0.0) {
+        s.goodput = static_cast<double>(met) / quanta;
+        s.throughput = static_cast<double>(completed) / quanta;
+        s.preemptions_per_kquanta = preemptions * 1000.0 / quanta;
+    }
+    return s;
+}
+
+std::string run_signature(const FleetResult& result) {
+    std::ostringstream sig;
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    sig << result.fleet_policy << '/' << result.node_policy << '/' << result.nodes
+        << "|q=" << result.quanta_executed << "|a=" << result.admissions
+        << "|p=" << result.preemptions << "|m=" << result.migrations
+        << "|x=" << result.cross_chip_migrations << "|c=" << result.completed_tasks;
+    for (const FleetTaskRecord& rec : result.tasks) {
+        sig << ';' << rec.task_id << ':' << rec.node_id << ':' << rec.completed
+            << ':' << rec.admit_quantum << ':' << rec.preemptions << ':'
+            << bits(rec.finish_quantum) << ':' << bits(rec.slowdown);
+    }
+    return sig.str();
+}
+
+}  // namespace synpa::fleet

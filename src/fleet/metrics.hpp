@@ -1,0 +1,57 @@
+// Fleet-level SLO metrics: per-class tail-latency summaries (p50/p99/p999
+// slowdown, SLO-violation rate), goodput, and the exact-bit run signature
+// the determinism tests compare across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fleet/runner.hpp"
+
+namespace synpa::fleet {
+
+/// Tail summary of one SLO class (or of every task, for `all`).
+struct ClassSummary {
+    std::size_t planned = 0;     ///< tasks of this class in the trace
+    std::size_t completed = 0;
+    /// Deadline misses plus tasks that never completed — an abandoned
+    /// request violates its SLO by definition.
+    std::size_t slo_violations = 0;
+    double violation_rate = 0.0;  ///< slo_violations / planned (0 when empty)
+    double mean_slowdown = 0.0;   ///< over completed tasks
+    double p50_slowdown = 0.0;
+    double p99_slowdown = 0.0;
+    double p999_slowdown = 0.0;
+    double mean_queue_quanta = 0.0;
+};
+
+struct FleetSummary {
+    ClassSummary all;
+    ClassSummary latency_critical;
+    ClassSummary batch;
+    /// Deadline-met completions per executed quantum — the fleet's useful
+    /// throughput under its SLO contracts.
+    double goodput = 0.0;
+    /// All completions per executed quantum.
+    double throughput = 0.0;
+    double preemptions_per_kquanta = 0.0;
+};
+
+/// Aggregates a fleet run into per-class tails.  Percentiles use
+/// common::percentile semantics (linear interpolation; 0 for an empty
+/// class).
+FleetSummary summarize(const FleetResult& result);
+
+/// Pooled variant over repetitions: task records are pooled before the
+/// percentiles (tails over the union, not averages of tails), and the rates
+/// are computed over the summed quanta.
+FleetSummary summarize(std::span<const FleetResult> runs);
+
+/// Exact-bit signature of a fleet run: cluster counters plus every task's
+/// outcome with doubles rendered via their bit patterns, so two runs match
+/// iff they are bit-identical (the sim_threads x fleet-threads determinism
+/// contract).
+std::string run_signature(const FleetResult& result);
+
+}  // namespace synpa::fleet

@@ -1,0 +1,50 @@
+// A request-style unit of work flowing through the fleet serving layer.
+//
+// A WorkItem is a PlannedTask promoted to a served request: it carries the
+// task's SLO contract (class, priority, deadline) plus the mutable serving
+// state the front end threads through admission, preemption and retirement.
+// The AppInstance travels with the item — a preempted task keeps its
+// architectural progress (retired instructions, RNG streams, counters) while
+// it waits in the queue, so preemption demotes without losing work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/instance.hpp"
+#include "scenario/scenario.hpp"
+
+namespace synpa::fleet {
+
+struct WorkItem {
+    // ---- immutable request contract (copied from the PlannedTask) ----
+    std::size_t plan_index = 0;       ///< index into the scenario trace
+    std::string app_name;
+    std::uint64_t arrival_quantum = 0;
+    std::uint64_t behaviour_seed = 1;
+    std::uint64_t service_insts = 0;  ///< finish line (retired instructions)
+    double isolated_ipc = 0.0;
+    scenario::SloClass slo = scenario::SloClass::kBatch;
+    int priority = 0;                 ///< admission priority (higher wins)
+    double deadline_quantum = 0.0;    ///< absolute deadline; 0 = none
+
+    // ---- mutable serving state (owned by the front end / the node) ----
+    /// Fleet-wide unique task id, assigned once at arrival (never reused).
+    int task_id = -1;
+    /// The running instance; null until first admission, preserved across
+    /// preemptions (progress is never lost).
+    std::unique_ptr<apps::AppInstance> instance;
+    std::uint64_t first_admit_quantum = 0;
+    bool admitted_once = false;
+    /// Quantum the item last (re-)entered the queue; basis for queue-wait
+    /// accounting on the next admission.
+    std::uint64_t enqueue_quantum = 0;
+    /// Total quanta spent waiting in the queue (initial + after preemptions).
+    std::uint64_t queue_wait_quanta = 0;
+    /// Times this item was demoted back to the queue by a higher-priority
+    /// arrival.
+    std::uint64_t preemptions = 0;
+};
+
+}  // namespace synpa::fleet

@@ -235,6 +235,17 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
                     .args_end()
                     .done();
                 break;
+            case EventKind::kPreemption:
+                w.open("i", 0, 0, ts, "preemption").scope_thread()
+                    .args_begin()
+                    .arg("task", static_cast<std::int64_t>(e.task))
+                    .arg("node", static_cast<std::int64_t>(e.core))
+                    .arg("victim_priority", static_cast<std::int64_t>(e.a))
+                    .arg("preemptor_priority", static_cast<std::int64_t>(e.b))
+                    .arg("app", e.detail)
+                    .args_end()
+                    .done();
+                break;
         }
     }
 

@@ -26,7 +26,8 @@ constexpr EventGroup kGroups[] = {
     {"chip", bit(EventKind::kChipQuantum)},
     {"alloc", bit(EventKind::kAllocation)},
     {"migration", bit(EventKind::kMigration)},
-    {"task", bit(EventKind::kAdmission) | bit(EventKind::kRetirement)},
+    {"task", bit(EventKind::kAdmission) | bit(EventKind::kRetirement) |
+                 bit(EventKind::kPreemption)},
     {"phase", bit(EventKind::kPhaseAlarm)},
     {"refit", bit(EventKind::kModelRefit)},
 };
@@ -44,6 +45,7 @@ const char* event_kind_name(EventKind kind) noexcept {
         case EventKind::kRetirement: return "retirement";
         case EventKind::kPhaseAlarm: return "phase_alarm";
         case EventKind::kModelRefit: return "model_refit";
+        case EventKind::kPreemption: return "preemption";
     }
     return "unknown";
 }

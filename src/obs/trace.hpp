@@ -43,8 +43,10 @@ enum class EventKind : unsigned {
     kRetirement,        ///< task, core, value = finish quantum, detail = app name
     kPhaseAlarm,        ///< task — CUSUM phase-change alarm
     kModelRefit,        ///< a = adopted (1/0), value = candidate holdout error
+    kPreemption,        ///< task = victim, a = victim priority, b = preemptor
+                        ///< priority, core = node id, detail = victim app
 };
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 10;
 
 /// Stable lowercase name ("quantum_begin", "migration", ...).
 const char* event_kind_name(EventKind kind) noexcept;

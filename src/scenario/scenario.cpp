@@ -66,6 +66,14 @@ private:
 
 }  // namespace
 
+const char* slo_class_name(SloClass c) noexcept {
+    switch (c) {
+        case SloClass::kBatch: return "batch";
+        case SloClass::kLatencyCritical: return "latency_critical";
+    }
+    return "unknown";
+}
+
 const char* arrival_process_name(ArrivalProcess p) noexcept {
     switch (p) {
         case ArrivalProcess::kClosed: return "closed";
@@ -85,6 +93,10 @@ ScenarioTrace build_trace(const ScenarioSpec& spec, const uarch::SimConfig& cfg)
         throw std::invalid_argument("build_trace: app_mix must not be empty");
     if (spec.service_jitter < 0.0 || spec.service_jitter >= 1.0)
         throw std::invalid_argument("build_trace: service_jitter must be in [0, 1)");
+    if (spec.lc_fraction < 0.0 || spec.lc_fraction > 1.0)
+        throw std::invalid_argument("build_trace: lc_fraction must be in [0, 1]");
+    if (spec.lc_deadline_slack <= 0.0 || spec.batch_deadline_slack <= 0.0)
+        throw std::invalid_argument("build_trace: deadline slacks must be > 0");
 
     // rate_scale_at takes the last matching phase, so phases must be in
     // start order — sort a copy rather than trusting the spec's order.
@@ -142,6 +154,10 @@ ScenarioTrace build_trace(const ScenarioSpec& spec, const uarch::SimConfig& cfg)
     trace.tasks.reserve(arrivals.size());
     BaselineCache baselines(spec, cfg);
     common::Rng demand_rng(spec.seed, 0xd3a2);
+    // SLO classes come from their own stream: enabling lc_fraction must not
+    // perturb the arrival process or the demand sampling above.
+    common::Rng slo_rng(spec.seed, 0x510c);
+    const double qcycles = static_cast<double>(cfg.cycles_per_quantum);
     for (std::size_t i = 0; i < arrivals.size(); ++i) {
         const ServiceBaseline& base = baselines.of(arrivals[i].app_name);
         const double jitter = spec.service_jitter > 0.0
@@ -156,6 +172,19 @@ ScenarioTrace build_trace(const ScenarioSpec& spec, const uarch::SimConfig& cfg)
             1, static_cast<std::uint64_t>(
                    std::llround(static_cast<double>(base.insts) * jitter)));
         task.isolated_ipc = base.ipc;
+
+        const bool lc = spec.lc_fraction > 0.0 && slo_rng.chance(spec.lc_fraction);
+        task.slo = lc ? SloClass::kLatencyCritical : SloClass::kBatch;
+        task.priority = lc ? spec.lc_priority : spec.batch_priority;
+        const double isolated_quanta =
+            base.ipc > 0.0
+                ? static_cast<double>(task.service_insts) / (base.ipc * qcycles)
+                : 0.0;
+        const double slack = lc ? spec.lc_deadline_slack : spec.batch_deadline_slack;
+        task.deadline_quantum = isolated_quanta > 0.0
+                                    ? static_cast<double>(task.arrival_quantum) +
+                                          slack * isolated_quanta
+                                    : 0.0;
         trace.tasks.push_back(std::move(task));
     }
     return trace;
@@ -190,6 +219,11 @@ std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) noexcept {
     h = common::derive_key(h, spec.burst_period, spec.burst_size);
     h = common::derive_key(h, spec.service_quanta, hash_double(spec.service_jitter),
                            spec.horizon_quanta);
+    h = common::derive_key(h, hash_double(spec.lc_fraction),
+                           hash_double(spec.lc_deadline_slack),
+                           hash_double(spec.batch_deadline_slack));
+    h = common::derive_key(h, static_cast<std::uint64_t>(spec.lc_priority),
+                           static_cast<std::uint64_t>(spec.batch_priority), 0x510);
     for (const std::string& app : spec.app_mix)
         h = common::derive_key(h, common::hash_string(app), 0xa99);
     for (const LoadPhase& p : spec.load_profile)

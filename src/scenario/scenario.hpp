@@ -31,6 +31,15 @@ enum class ArrivalProcess {
 
 const char* arrival_process_name(ArrivalProcess p) noexcept;
 
+/// Request class of a task in the fleet serving layer (src/fleet/): the
+/// contract it arrives with, not something a policy may change.
+enum class SloClass {
+    kBatch = 0,           ///< throughput-oriented; generous deadline, preemptible
+    kLatencyCritical = 1, ///< tail-latency-oriented; tight deadline, may preempt
+};
+
+const char* slo_class_name(SloClass c) noexcept;
+
 /// One explicit arrival of a kTrace scenario.
 struct TraceArrival {
     std::uint64_t quantum = 0;
@@ -69,6 +78,19 @@ struct ScenarioSpec {
 
     std::uint64_t horizon_quanta = 200;  ///< arrivals stop after this quantum
     std::uint64_t seed = 42;             ///< drives arrivals, app draws, jitter
+
+    // ------------------------------------------------- SLO / fleet fields --
+    // Request-class sampling for the fleet serving layer.  Each arrival is
+    // latency-critical with probability lc_fraction (drawn from a dedicated
+    // RNG stream, so legacy traces are bit-identical at lc_fraction = 0).  A
+    // task's deadline is arrival + slack * its isolated service time, using
+    // the slack of its class.  Single-node ScenarioRunner ignores all of
+    // this; only fleet::FleetRunner enforces deadlines and priorities.
+    double lc_fraction = 0.0;        ///< probability an arrival is latency-critical
+    double lc_deadline_slack = 4.0;  ///< LC deadline slack (x isolated quanta)
+    double batch_deadline_slack = 24.0;  ///< batch deadline slack
+    int lc_priority = 10;   ///< admission priority of LC arrivals (higher wins)
+    int batch_priority = 0; ///< admission priority of batch arrivals
 };
 
 /// One sampled task of a scenario: when it arrives, what it runs, and how
@@ -79,6 +101,11 @@ struct PlannedTask {
     std::uint64_t seed = 1;           ///< behaviour seed of the instance
     std::uint64_t service_insts = 0;  ///< finish line (retired instructions)
     double isolated_ipc = 0.0;        ///< from the app's isolated service profile
+
+    // SLO contract (consumed by the fleet layer; see ScenarioSpec).
+    SloClass slo = SloClass::kBatch;
+    int priority = 0;               ///< admission priority (class default)
+    double deadline_quantum = 0.0;  ///< absolute deadline; 0 = no deadline
 };
 
 /// A fully sampled scenario, ready to run.  Tasks are sorted by arrival

@@ -50,6 +50,8 @@ void AllocationPolicy::on_task_replaced(int, int) {}
 
 void AllocationPolicy::on_task_finished(int) {}
 
+void AllocationPolicy::on_task_preempted(int task_id) { on_task_finished(task_id); }
+
 CoreAllocation current_allocation(std::span<const TaskObservation> observations,
                                   int total_cores) {
     if (total_cores <= 0)

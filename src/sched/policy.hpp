@@ -133,6 +133,14 @@ public:
     /// a run.
     virtual void on_task_finished(int task_id);
 
+    /// A task was preempted off this policy's node (fleet priority
+    /// preemption) and re-queued; it may later be re-admitted *anywhere* in
+    /// the fleet under the same id.  From the node-local policy's view the
+    /// task is gone — the default forwards to on_task_finished so existing
+    /// policies drop their per-task state — but policies may distinguish the
+    /// two (e.g. to keep a behaviour estimate warm for a possible return).
+    virtual void on_task_preempted(int task_id);
+
     /// Observability hook: the driver attaches its flight recorder before
     /// the run so instrumented policies (SYNPA, the online wrapper) can emit
     /// allocation/alarm/refit events.  The tracer outlives the run; nullptr

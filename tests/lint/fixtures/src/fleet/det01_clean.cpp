@@ -1,0 +1,20 @@
+// Clean counterpart for the src/fleet deterministic layer: lookups into
+// unordered containers (no iteration order observed) and residency-ordered
+// vectors are the sanctioned patterns for fleet bookkeeping.
+#include <unordered_map>
+#include <vector>
+
+namespace synpa::fleet {
+
+double wait_of(const std::unordered_map<int, double>& queue_wait, int id) {
+    const auto it = queue_wait.find(id);
+    return it != queue_wait.end() ? it->second : 0.0;
+}
+
+double drain_in_residency_order(const std::vector<double>& waits) {
+    double total = 0.0;
+    for (const double wait : waits) total += wait;
+    return total;
+}
+
+}  // namespace synpa::fleet

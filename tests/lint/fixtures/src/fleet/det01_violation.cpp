@@ -1,0 +1,20 @@
+// DET-01/DET-02 fixture: src/fleet is a deterministic layer (fleet runs
+// are pinned bit-identical across fleet-thread and sim-thread counts), so
+// unordered traversals and host clock reads are flagged there too.
+// Expected findings are pinned by line number in
+// tests/lint/test_synpa_lint.py — keep the layout stable.
+#include <chrono>
+#include <unordered_map>
+
+namespace synpa::fleet {
+
+double drain_in_hash_order() {
+    std::unordered_map<int, double> queue_wait;
+    queue_wait[1] = 2.0;
+    double total = 0.0;
+    for (const auto& [id, wait] : queue_wait) total += wait;   // line 15: flagged
+    const auto now = std::chrono::steady_clock::now();         // line 16: flagged
+    return total + static_cast<double>(now.time_since_epoch().count());
+}
+
+}  // namespace synpa::fleet

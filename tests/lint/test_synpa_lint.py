@@ -33,6 +33,8 @@ FINDING_RE = re.compile(r"^(?P<path>\S+?):(?P<line>\d+): (?P<rule>[A-Z]+-\d+): "
 EXPECTED_FIXTURE_FINDINGS = {
     ("bench/env01_bench_violation.cpp", 6, "ENV-01"),
     ("src/core/det02_violation.cpp", 10, "DET-02"),
+    ("src/fleet/det01_violation.cpp", 15, "DET-01"),
+    ("src/fleet/det01_violation.cpp", 16, "DET-02"),
     ("src/core/det02_violation.cpp", 11, "DET-02"),
     ("src/core/det02_violation.cpp", 12, "DET-02"),
     ("src/model/obs01_violation.cpp", 8, "OBS-01"),
@@ -55,6 +57,7 @@ EXPECTED_FIXTURE_FINDINGS = {
 CLEAN_FIXTURES = [
     "src/common/config.cpp",
     "src/core/det02_clean.cpp",
+    "src/fleet/det01_clean.cpp",
     "src/model/obs01_clean.cpp",
     "src/obs/obs01_allowed.cpp",
     "src/sched/det01_clean.cpp",

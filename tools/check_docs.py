@@ -3,8 +3,9 @@
 
 1. Every intra-repo markdown link in every *.md file must resolve to an
    existing file or directory.
-2. Every policy name registered in src/sched/registry.cpp (the table
-   between the registry-table-begin/end markers) must be documented in
+2. Every policy name registered in src/sched/registry.cpp and every fleet
+   policy registered in src/fleet/policy.cpp (the tables between the
+   registry-table-begin/end markers) must be documented in
    docs/REFERENCE.md as an inline-code `name`.
 3. Every SYNPA_* environment knob read anywhere in src/, bench/, or
    examples/ (via common::env_int/env_double/env_string or raw getenv)
@@ -48,19 +49,27 @@ def check_links():
     return errors
 
 
+REGISTRY_SOURCES = ("src/sched/registry.cpp", "src/fleet/policy.cpp")
+
+
 def registry_names():
-    source = (REPO / "src/sched/registry.cpp").read_text()
-    try:
-        table = source.split("registry-table-begin", 1)[1].split(
-            "registry-table-end", 1
-        )[0]
-    except IndexError:
-        sys.exit("src/sched/registry.cpp: registry-table markers not found")
-    names = [
-        m.group(1) for line in table.splitlines() if (m := REGISTRY_NAME_RE.match(line))
-    ]
-    if not names:
-        sys.exit("src/sched/registry.cpp: no policy names parsed from the table")
+    names = []
+    for rel in REGISTRY_SOURCES:
+        source = (REPO / rel).read_text()
+        try:
+            table = source.split("registry-table-begin", 1)[1].split(
+                "registry-table-end", 1
+            )[0]
+        except IndexError:
+            sys.exit(f"{rel}: registry-table markers not found")
+        parsed = [
+            m.group(1)
+            for line in table.splitlines()
+            if (m := REGISTRY_NAME_RE.match(line))
+        ]
+        if not parsed:
+            sys.exit(f"{rel}: no policy names parsed from the table")
+        names.extend(parsed)
     return names
 
 

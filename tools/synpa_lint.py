@@ -9,7 +9,8 @@ flaky golden does — see docs/LINTING.md for the full rationale.
 Rules
   DET-01   no range-for / iterator traversal of unordered_map/unordered_set
            in the deterministic layers (src/{core,sched,uarch,scenario,
-           matching,online,model}).  Hash order is not deterministic across
+           matching,online,model,fleet}).  Hash order is not deterministic
+           across
            libstdc++ versions or libc++; traversals must use sorted
            snapshots or common::FlatIdMap.  Audited exceptions carry
            `// synpa-lint: sorted-ok(<reason>)`.
@@ -74,9 +75,11 @@ MARKER_TAGS = {
 # Layers whose results are pinned bit-identical by goldens and the
 # parallel-engine identity tests.
 DET_LAYERS = ("src/core/", "src/sched/", "src/uarch/", "src/scenario/",
-              "src/matching/", "src/online/", "src/model/")
-# Layers whose code runs inside the chip-shard fork/join barrier.
-BARRIER_LAYERS = ("src/uarch/", "src/apps/", "src/pmu/")
+              "src/matching/", "src/online/", "src/model/", "src/fleet/")
+# Layers whose code runs inside a fork/join barrier: chip shards
+# (uarch/apps/pmu) and fleet nodes stepped concurrently over the fleet
+# thread pool.
+BARRIER_LAYERS = ("src/uarch/", "src/apps/", "src/pmu/", "src/fleet/")
 
 CPP_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp"}
 
